@@ -1,0 +1,60 @@
+//! Ablation: the §7 detour-policy design space.
+//!
+//! Runs the mixed workload at three query intensities under each detour
+//! policy (random default, load-aware, flow-based, probabilistic) plus the
+//! droptail baseline, reporting the paper's two headline metrics, drop
+//! counts, and detour volume. This quantifies the paper's position that
+//! parameterless random detouring captures nearly all of the benefit.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::{ExperimentRecord, SeriesPoint};
+use dibs_switch::DibsPolicy;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "abl_detour_policies",
+        "Ablation: detour policies at three query intensities (§7)",
+        "qps",
+    );
+    rec.param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("bg_interarrival_ms", 120)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    let policies: [(&str, DibsPolicy); 5] = [
+        ("droptail", DibsPolicy::Disabled),
+        ("random", DibsPolicy::Random),
+        ("loadaware", DibsPolicy::LoadAware),
+        ("flowbased", DibsPolicy::FlowBased),
+        ("prob85", DibsPolicy::Probabilistic { onset: 0.85 }),
+    ];
+    let wl0 = h.workload();
+    let points = parallel_map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+        let wl = MixedWorkload { qps, ..wl0 };
+        let mut point = SeriesPoint::at(qps);
+        for (name, policy) in policies {
+            let cfg = SimConfig::dctcp_dibs().with_policy(policy);
+            let mut r = mixed_workload_sim(FatTreeParams::paper_default(), cfg, wl).run();
+            point = point
+                .with(
+                    &format!("qct_p99_ms_{name}"),
+                    r.qct_p99_ms().unwrap_or(f64::NAN),
+                )
+                .with(
+                    &format!("bg_fct_p99_ms_{name}"),
+                    r.bg_fct_p99_ms().unwrap_or(f64::NAN),
+                )
+                .with(&format!("drops_{name}"), r.counters.total_drops() as f64)
+                .with(&format!("detours_{name}"), r.counters.detours as f64);
+        }
+        point
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

@@ -1,0 +1,119 @@
+//! Ablation: detouring across topology families (§7 discussion).
+//!
+//! The paper argues that topologies with richer neighborhoods (HyperX,
+//! Jellyfish) suit DIBS even better than the fat-tree, and that DIBS still
+//! functions on a linear chain (footnote 10). This bench runs an identical
+//! incast-over-background workload on comparable instances of each family
+//! and reports the DCTCP-vs-DIBS gap.
+
+use dibs::{SimConfig, Simulation};
+use dibs_bench::Harness;
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::{
+    fat_tree, hyperx, jellyfish, linear, FatTreeParams, HyperXParams, JellyfishParams,
+};
+use dibs_net::topology::{LinkSpec, Topology};
+use dibs_stats::{ExperimentRecord, SeriesPoint};
+use dibs_workload::{BackgroundTraffic, QueryTraffic};
+
+fn build(name: &str) -> Topology {
+    let gbit = LinkSpec::gbit(1);
+    match name {
+        "fat_tree_k8" => fat_tree(FatTreeParams::paper_default()),
+        // ~128 hosts each, comparable switch counts.
+        "jellyfish" => {
+            let mut rng = SimRng::new(99);
+            jellyfish(
+                JellyfishParams {
+                    switches: 43,
+                    degree: 8,
+                    hosts_per_switch: 3,
+                    host_link: gbit,
+                    fabric_link: gbit,
+                },
+                &mut rng,
+            )
+        }
+        "hyperx_4x4" => hyperx(HyperXParams {
+            shape: &[4, 4],
+            hosts_per_switch: 8,
+            host_link: gbit,
+            fabric_link: gbit,
+        }),
+        "linear_x8" => linear(8, 16, gbit),
+        other => panic!("unknown topology {other}"),
+    }
+}
+
+fn run(
+    topo: Topology,
+    cfg: SimConfig,
+    duration: SimDuration,
+    drain: SimDuration,
+) -> dibs::RunResults {
+    let hosts = topo.num_hosts();
+    let mut cfg = cfg;
+    cfg.horizon = dibs_engine::time::SimTime::ZERO + duration + drain;
+    let mut sim = Simulation::new(topo, cfg);
+    let root = SimRng::new(cfg.seed);
+    let mut bg_rng = root.fork("workload/background");
+    let mut q_rng = root.fork("workload/query");
+    sim.add_flows(
+        BackgroundTraffic::paper(SimDuration::from_millis(120)).generate(
+            hosts,
+            duration,
+            &mut bg_rng,
+        ),
+    );
+    let queries = QueryTraffic {
+        qps: 1000.0,
+        degree: 40.min(hosts - 1),
+        response_bytes: 20_000,
+    }
+    .generate(hosts, duration, &mut q_rng);
+    sim.add_queries(&queries);
+    sim.run()
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "abl_topologies",
+        "Ablation: DIBS across topology families (§7)",
+        "topology_index",
+    );
+    rec.param("qps", 1000)
+        .param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    for (i, name) in ["fat_tree_k8", "jellyfish", "hyperx_4x4", "linear_x8"]
+        .iter()
+        .enumerate()
+    {
+        let mut base = run(
+            build(name),
+            SimConfig::dctcp_baseline(),
+            h.scale.duration(),
+            h.scale.drain(),
+        );
+        let mut dibs = run(
+            build(name),
+            SimConfig::dctcp_dibs(),
+            h.scale.duration(),
+            h.scale.drain(),
+        );
+        rec.param(&format!("topology_{i}"), *name);
+        rec.push(
+            SeriesPoint::at(i as f64)
+                .with("qct_p99_ms_dctcp", base.qct_p99_ms().unwrap_or(f64::NAN))
+                .with("qct_p99_ms_dibs", dibs.qct_p99_ms().unwrap_or(f64::NAN))
+                .with("drops_dctcp", base.counters.total_drops() as f64)
+                .with("drops_dibs", dibs.counters.total_drops() as f64)
+                .with("detours_dibs", dibs.counters.detours as f64)
+                .with("qct_done_frac_dibs", dibs.query_completion_rate()),
+        );
+    }
+    h.finish(&rec);
+}

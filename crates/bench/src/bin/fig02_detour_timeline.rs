@@ -1,0 +1,120 @@
+//! Figure 2: (a) which switches detour, over time, during a burst into one
+//! pod; (b) buffer occupancy of the destination pod's switches at three
+//! instants t1 < t2 < t3.
+//!
+//! Paper shape: detouring starts at the destination's edge switch, spreads
+//! to all four aggregation switches at the burst peak, and collapses back
+//! to just the edge switch as the burst drains — all within ~10 ms, with no
+//! drops or timeouts.
+
+use dibs::presets::single_incast_sim;
+use dibs::SimConfig;
+use dibs_bench::Harness;
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::{ExperimentRecord, SeriesPoint};
+
+fn main() {
+    let h = Harness::from_env();
+    let mut cfg = SimConfig::dctcp_dibs();
+    cfg.seed = 12;
+    cfg.sample_interval = Some(SimDuration::from_micros(100));
+    cfg.occupancy_snapshots = true;
+    let results = single_incast_sim(FatTreeParams::paper_default(), cfg, 100, 20_000).run();
+
+    // (a) detour scatter, bucketed per 0.5 ms per layer.
+    println!("# fig02a — detour events per 0.5 ms bucket per layer");
+    println!("{:>10} {:>8} {:>8} {:>8}", "t_ms", "edge", "aggr", "core");
+    let bucket_ms = 0.5;
+    let mut buckets: Vec<[u32; 3]> = Vec::new();
+    for ev in &results.detour_log.events {
+        let b = (ev.time_s * 1000.0 / bucket_ms) as usize;
+        if buckets.len() <= b {
+            buckets.resize(b + 1, [0; 3]);
+        }
+        if ev.layer < 3 {
+            buckets[b][ev.layer as usize] += 1;
+        }
+    }
+    for (b, counts) in buckets.iter().enumerate() {
+        if counts.iter().any(|&c| c > 0) {
+            println!(
+                "{:>10.2} {:>8} {:>8} {:>8}",
+                b as f64 * bucket_ms,
+                counts[0],
+                counts[1],
+                counts[2]
+            );
+        }
+    }
+
+    // (b) occupancy snapshots: pick t1 (queues building), t2 (peak), t3
+    // (draining) as the snapshots with 25%, 100%, and 35% of the peak
+    // total occupancy.
+    let totals: Vec<usize> = results
+        .occupancy
+        .iter()
+        .map(|s| s.per_switch.iter().flatten().sum())
+        .collect();
+    if let Some((peak_idx, &peak)) = totals.iter().enumerate().max_by_key(|(_, t)| **t) {
+        let pick = |frac: f64, after: bool| -> usize {
+            let target = (peak as f64 * frac) as usize;
+            if after {
+                (peak_idx..totals.len())
+                    .find(|&i| totals[i] <= target)
+                    .unwrap_or(totals.len() - 1)
+            } else {
+                (0..=peak_idx)
+                    .find(|&i| totals[i] >= target)
+                    .unwrap_or(peak_idx)
+            }
+        };
+        let t1 = pick(0.25, false);
+        let t2 = peak_idx;
+        let t3 = pick(0.35, true);
+        println!("\n# fig02b — total queued packets per switch at t1/t2/t3");
+        println!(
+            "# t1={:.2}ms t2={:.2}ms t3={:.2}ms (peak total {} pkts)",
+            results.occupancy[t1].time_s * 1e3,
+            results.occupancy[t2].time_s * 1e3,
+            results.occupancy[t3].time_s * 1e3,
+            peak
+        );
+        println!("{:>8} {:>8} {:>8} {:>8}", "switch", "t1", "t2", "t3");
+        for s in 0..results.occupancy[t2].per_switch.len() {
+            let at = |i: usize| -> usize { results.occupancy[i].per_switch[s].iter().sum() };
+            if at(t1) + at(t2) + at(t3) > 0 {
+                println!("{:>8} {:>8} {:>8} {:>8}", s, at(t1), at(t2), at(t3));
+            }
+        }
+    }
+
+    let mut rec = ExperimentRecord::new(
+        "fig02_detour_timeline",
+        "Detours and buffer occupancy during a burst (Fig 2)",
+        "metric",
+    );
+    rec.param("incast_degree", 100).param("response_kb", 20);
+    let switches_detouring = results
+        .detours_per_switch
+        .iter()
+        .filter(|&&d| d > 0)
+        .count();
+    rec.push(
+        SeriesPoint::at(0.0)
+            .with("detour_events", results.counters.detours as f64)
+            .with("switches_detouring", switches_detouring as f64)
+            .with("drops", results.counters.total_drops() as f64)
+            .with("timeouts", results.counters.rto_timeouts as f64)
+            .with(
+                "burst_len_ms",
+                results
+                    .detour_log
+                    .events
+                    .last()
+                    .map(|e| e.time_s * 1e3)
+                    .unwrap_or(0.0),
+            ),
+    );
+    h.finish(&rec);
+}

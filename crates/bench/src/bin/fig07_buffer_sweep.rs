@@ -1,0 +1,55 @@
+//! Figure 7: 99th-percentile QCT versus switch buffer size, three systems:
+//! DCTCP, DCTCP with infinite buffers, and DCTCP+DIBS.
+//!
+//! Paper shape: DIBS tracks the infinite-buffer line at every size and its
+//! advantage over plain DCTCP grows as buffers shrink.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::{ExperimentRecord, SeriesPoint};
+use dibs_switch::BufferConfig;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig07_buffer_sweep",
+        "QCT vs buffer size: DCTCP / DCTCP+infinite / DCTCP+DIBS (Fig 7)",
+        "buffer_pkts",
+    );
+    rec.param("qps", 300)
+        .param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("bg_interarrival_ms", 120)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    let sweep = [25usize, 100, 300, 500, 700];
+    let base_wl = h.workload();
+    let points = parallel_map(sweep.to_vec(), |pkts| {
+        let wl = MixedWorkload { ..base_wl };
+        let tree = FatTreeParams::paper_default();
+        let sized = |mut cfg: SimConfig| {
+            cfg.switch.buffer = BufferConfig::StaticPerPort { packets: pkts };
+            cfg.switch.ecn_threshold = Some(20.min(pkts.saturating_sub(1).max(1)));
+            cfg
+        };
+        let mut dctcp = mixed_workload_sim(tree, sized(SimConfig::dctcp_baseline()), wl).run();
+        let mut dibs = mixed_workload_sim(tree, sized(SimConfig::dctcp_dibs()), wl).run();
+        // Infinite buffers are size-independent, but rerun per point so the
+        // series aligns (it also keeps the ECN threshold identical).
+        let mut inf_cfg = sized(SimConfig::dctcp_baseline());
+        inf_cfg.switch.buffer = BufferConfig::Infinite;
+        let mut inf = mixed_workload_sim(tree, inf_cfg, wl).run();
+        SeriesPoint::at(pkts as f64)
+            .with("qct_p99_ms_dctcp", dctcp.qct_p99_ms().unwrap_or(f64::NAN))
+            .with("qct_p99_ms_dctcp_inf", inf.qct_p99_ms().unwrap_or(f64::NAN))
+            .with("qct_p99_ms_dibs", dibs.qct_p99_ms().unwrap_or(f64::NAN))
+            .with("drops_dctcp", dctcp.counters.total_drops() as f64)
+            .with("drops_dibs", dibs.counters.total_drops() as f64)
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

@@ -1,0 +1,41 @@
+//! Figure 9: variable query arrival rate.
+//!
+//! Sweeps the query rate 300–2000 qps with light background (120 ms
+//! inter-arrival), degree 40, 20 KB responses.
+//!
+//! Paper shape: DIBS improves 99th QCT by ~20 ms across the sweep; at the
+//! highest rates DIBS also *improves* background FCT, because without it
+//! background flows start losing packets to query bursts.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::ExperimentRecord;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig09_query_rate",
+        "Variable query arrival rate (Fig 9)",
+        "qps",
+    );
+    rec.param("bg_interarrival_ms", 120)
+        .param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    let sweep = [300.0f64, 500.0, 1000.0, 1500.0, 2000.0];
+    let base_wl = h.workload();
+    let points = parallel_map(sweep.to_vec(), |qps| {
+        let wl = MixedWorkload { qps, ..base_wl };
+        let tree = FatTreeParams::paper_default();
+        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        baseline_vs_dibs_point(qps, &mut base, &mut dibs)
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

@@ -1,0 +1,45 @@
+//! Figure 10: variable query response size.
+//!
+//! Sweeps the per-responder response size 20–50 KB (degree 40, 300 qps,
+//! light background).
+//!
+//! Paper shape: DIBS's QCT advantage shrinks as responses grow (21 ms at
+//! 20 KB down to ~6 ms at 50 KB) because bigger bursts mean more detours
+//! and occasional spurious timeouts; background FCT damage grows mildly
+//! (1.2 ms at 20 KB to 4.4 ms at 50 KB); DIBS still never drops.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::ExperimentRecord;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig10_response_size",
+        "Variable query response size (Fig 10)",
+        "response_kb",
+    );
+    rec.param("bg_interarrival_ms", 120)
+        .param("incast_degree", 40)
+        .param("qps", 300)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    let sweep = [20u64, 30, 40, 50];
+    let base_wl = h.workload();
+    let points = parallel_map(sweep.to_vec(), |kb| {
+        let wl = MixedWorkload {
+            response_bytes: kb * 1000,
+            ..base_wl
+        };
+        let tree = FatTreeParams::paper_default();
+        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        baseline_vs_dibs_point(kb as f64, &mut base, &mut dibs)
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

@@ -1,0 +1,47 @@
+//! Figure 11: variable incast degree.
+//!
+//! Sweeps the number of responders per query 40–100 (20 KB responses,
+//! 300 qps, light background).
+//!
+//! Paper shape: DIBS's advantage *grows* with degree (22 ms at degree 40 to
+//! 33 ms at 100) because higher-degree bursts are burstier — the first-RTT
+//! burst is `degree x init_cwnd` packets. At degree 100 around 1 % of
+//! packets take 40+ detours.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::ExperimentRecord;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig11_incast_degree",
+        "Variable incast degree (Fig 11)",
+        "incast_degree",
+    );
+    rec.param("bg_interarrival_ms", 120)
+        .param("qps", 300)
+        .param("response_kb", 20)
+        .param("duration_ms", h.scale.duration().as_millis_f64());
+
+    let sweep = [40usize, 60, 80, 100];
+    let base_wl = h.workload();
+    let points = parallel_map(sweep.to_vec(), |deg| {
+        let wl = MixedWorkload {
+            incast_degree: deg,
+            ..base_wl
+        };
+        let tree = FatTreeParams::paper_default();
+        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+
+        baseline_vs_dibs_point(deg as f64, &mut base, &mut dibs)
+            .with("dibs_frac_40plus_detours", dibs.detoured_at_least(40))
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

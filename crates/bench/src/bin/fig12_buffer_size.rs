@@ -1,0 +1,56 @@
+//! Figure 12: variable per-port buffer size (1–200 packets) under heavy
+//! background traffic (10 ms inter-arrival).
+//!
+//! Paper shape: (a) background FCT — no collateral damage from DIBS at any
+//! buffer size; (b) query QCT — DIBS wins dramatically at small buffers
+//! (where DCTCP drops constantly) and the two converge at large buffers.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::ExperimentRecord;
+use dibs_switch::BufferConfig;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig12_buffer_size",
+        "Variable buffer size under heavy background (Fig 12)",
+        "buffer_pkts",
+    );
+    rec.param("bg_interarrival_ms", 10)
+        .param("qps", 300)
+        .param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("duration_ms", h.scale.heavy_duration().as_millis_f64());
+
+    // The ECN threshold must fit inside the buffer at small sizes.
+    let sweep = [1usize, 5, 10, 25, 40, 100, 200];
+    let scale = h.scale;
+    let points = parallel_map(sweep.to_vec(), |pkts| {
+        let wl = MixedWorkload {
+            bg_interarrival: SimDuration::from_millis(10),
+            duration: scale.heavy_duration(),
+            drain: scale.drain(),
+            ..MixedWorkload::paper_default()
+        };
+        let tree = FatTreeParams::paper_default();
+        let configure = |mut cfg: SimConfig| {
+            cfg.switch.buffer = BufferConfig::StaticPerPort { packets: pkts };
+            // Keep the DCTCP marking threshold below the buffer limit.
+            cfg.switch.ecn_threshold = Some(20.min(pkts.saturating_sub(1).max(1)));
+            cfg
+        };
+        let mut base = mixed_workload_sim(tree, configure(SimConfig::dctcp_baseline()), wl).run();
+        let mut dibs = mixed_workload_sim(tree, configure(SimConfig::dctcp_dibs()), wl).run();
+        baseline_vs_dibs_point(pkts as f64, &mut base, &mut dibs)
+            .with("qct_done_frac_dctcp", base.query_completion_rate())
+            .with("qct_done_frac_dibs", dibs.query_completion_rate())
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

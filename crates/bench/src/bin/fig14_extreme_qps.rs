@@ -1,0 +1,49 @@
+//! Figure 14: when does DIBS break? Extreme query rates.
+//!
+//! Sweeps 6000–15000 qps (degree 40, 20 KB responses, light background).
+//!
+//! Paper shape: both schemes degrade, but past ~10 k qps DIBS's completion
+//! times explode — detoured packets no longer drain before new bursts
+//! arrive, queues build everywhere, and detouring becomes *worse* than
+//! dropping. Below the tipping point DIBS still wins.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs_net::builders::FatTreeParams;
+use dibs_stats::ExperimentRecord;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rec = ExperimentRecord::new(
+        "fig14_extreme_qps",
+        "Extreme query intensity — the DIBS breaking point (Fig 14)",
+        "qps",
+    );
+    rec.param("bg_interarrival_ms", 120)
+        .param("incast_degree", 40)
+        .param("response_kb", 20)
+        .param("duration_ms", h.scale.heavy_duration().as_millis_f64());
+
+    let sweep = [6000.0f64, 8000.0, 10000.0, 12000.0, 14000.0];
+    let scale = h.scale;
+    let points = parallel_map(sweep.to_vec(), |qps| {
+        let wl = MixedWorkload {
+            qps,
+            duration: scale.heavy_duration(),
+            // Generous drain: under collapse, completions trickle in late.
+            drain: scale.drain() * 2,
+            ..MixedWorkload::paper_default()
+        };
+        let tree = FatTreeParams::paper_default();
+        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        baseline_vs_dibs_point(qps, &mut base, &mut dibs)
+            .with("qct_done_frac_dctcp", base.query_completion_rate())
+            .with("qct_done_frac_dibs", dibs.query_completion_rate())
+    });
+    for p in points {
+        rec.push(p);
+    }
+    h.finish(&rec);
+}

@@ -1,0 +1,39 @@
+//! Regenerates `results/*.svg` charts from the stored `results/*.json`
+//! experiment records without rerunning any simulation.
+
+use dibs_stats::{ExperimentRecord, LineChart};
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::var("DIBS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        eprintln!("no results directory at {}", dir.display());
+        std::process::exit(1);
+    };
+    let mut rendered = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(record) = ExperimentRecord::from_json(&text) else {
+            eprintln!("skipping {} (not an experiment record)", path.display());
+            continue;
+        };
+        let chart = LineChart::from_record(&record, "value", true);
+        let out = path.with_extension("svg");
+        match std::fs::write(&out, chart.render()) {
+            Ok(()) => {
+                println!("rendered {}", out.display());
+                rendered += 1;
+            }
+            Err(e) => eprintln!("cannot write {}: {e}", out.display()),
+        }
+    }
+    println!("{rendered} charts rendered");
+}

@@ -1,0 +1,89 @@
+//! Runs every figure/table binary in sequence (same process), writing all
+//! records under `results/`. Use `--quick` for a fast smoke pass.
+//!
+//! This is the one-command regeneration entry point referenced by
+//! EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run -p dibs-bench --release --bin repro_all            # default scale
+//! cargo run -p dibs-bench --release --bin repro_all -- --quick # smoke
+//! cargo run -p dibs-bench --release --bin repro_all -- --full  # paper-length
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const BINS: &[&str] = &[
+    "fig01_detour_path",
+    "fig02_detour_timeline",
+    "fig03_hotspot_sparsity",
+    "fig04_hotlinks",
+    "fig05_neighbor_buffers",
+    "fig06_testbed_incast",
+    "fig07_buffer_sweep",
+    "fig08_bg_interarrival",
+    "fig09_query_rate",
+    "fig10_response_size",
+    "fig11_incast_degree",
+    "fig12_buffer_size",
+    "fig13_ttl",
+    "fig14_extreme_qps",
+    "fig15_large_response",
+    "fig16_pfabric",
+    "tab_shared_buffer",
+    "tab_oversubscription",
+    "tab_fairness",
+    "abl_detour_policies",
+    "abl_topologies",
+    "abl_flow_control",
+    "abl_ecmp",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let total = Instant::now();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        let path = exe_dir.join(bin);
+        println!("\n=== {bin} ===");
+        let started = Instant::now();
+        let status = Command::new(&path).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!(
+                    "=== {bin} done in {:.1?}s ===",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Ok(s) => {
+                eprintln!("=== {bin} FAILED: {s} ===");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!(
+                    "=== {bin} could not start ({e}); build all bins first: \
+                     cargo build -p dibs-bench --release --bins ==="
+                );
+                failures.push(*bin);
+            }
+        }
+    }
+    println!(
+        "\nAll experiments finished in {:.1}s; {} failures{}",
+        total.elapsed().as_secs_f64(),
+        failures.len(),
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure/table binaries.
+//!
+//! Every binary follows the same pattern: build the experiment's parameter
+//! sweep, run the simulations (in parallel when cores allow), assemble an
+//! [`ExperimentRecord`], print it as an aligned table, and persist it as
+//! JSON under `results/`.
+//!
+//! All binaries accept `--quick` (shorter traffic windows, for smoke runs)
+//! and `--full` (paper-length windows); the default sits in between so the
+//! whole suite finishes in tens of minutes on one core. The scale can also
+//! be set via the `DIBS_SCALE` environment variable (`quick`, `default`,
+//! `full`).
+
+use dibs::presets::MixedWorkload;
+use dibs::RunResults;
+use dibs_engine::time::SimDuration;
+use dibs_stats::{ExperimentRecord, SeriesPoint};
+use std::path::PathBuf;
+
+/// How long the traffic windows run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test: tiny windows, coarse percentiles.
+    Quick,
+    /// Suite default: enough queries for a stable 99th percentile.
+    Default,
+    /// Paper-length windows.
+    Full,
+}
+
+impl Scale {
+    /// Traffic generation window for mixed workloads.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(120),
+            Scale::Default => SimDuration::from_millis(400),
+            Scale::Full => SimDuration::from_millis(1000),
+        }
+    }
+
+    /// Drain time appended after the generation window.
+    pub fn drain(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(300),
+            Scale::Default => SimDuration::from_millis(600),
+            Scale::Full => SimDuration::from_millis(1000),
+        }
+    }
+
+    /// A short window for the very heavy experiments (10 ms background
+    /// inter-arrival, extreme qps).
+    pub fn heavy_duration(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(80),
+            Scale::Default => SimDuration::from_millis(200),
+            Scale::Full => SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Execution context shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Chosen scale.
+    pub scale: Scale,
+    /// Where JSON records land.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Builds a harness from argv (`--quick` / `--full`) and `DIBS_SCALE`.
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("DIBS_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("full") => Scale::Full,
+            _ => Scale::Default,
+        };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--default" => scale = Scale::Default,
+                other => {
+                    eprintln!("warning: unrecognized argument `{other}` (expected --quick/--full)");
+                }
+            }
+        }
+        let out_dir = std::env::var("DIBS_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        Harness { scale, out_dir }
+    }
+
+    /// The mixed-workload defaults at this scale (Table 2 bold values).
+    pub fn workload(&self) -> MixedWorkload {
+        MixedWorkload {
+            duration: self.scale.duration(),
+            drain: self.scale.drain(),
+            ..MixedWorkload::paper_default()
+        }
+    }
+
+    /// Prints the record and writes `results/<id>.json`.
+    pub fn finish(&self, record: &ExperimentRecord) {
+        print!("{}", record.to_table());
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{}.json", record.id));
+        match std::fs::write(&path, record.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+        // An eyeball-comparison chart next to the raw series. Milliseconds
+        // span orders of magnitude across sweeps, so use a log axis.
+        let chart = dibs_stats::LineChart::from_record(record, "value", true);
+        let svg_path = self.out_dir.join(format!("{}.svg", record.id));
+        if let Err(e) = std::fs::write(&svg_path, chart.render()) {
+            eprintln!("warning: cannot write {}: {e}", svg_path.display());
+        }
+    }
+}
+
+/// Runs `f` over `items`, using scoped threads when more than one core is
+/// available; preserves input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..cores.min(n) {
+            s.spawn(|_| loop {
+                let item = queue.lock().pop();
+                match item {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Extracts the standard pair of paper metrics from a finished run:
+/// `(qct_p99_ms, bg_short_fct_p99_ms)`.
+pub fn headline_metrics(results: &mut RunResults) -> (f64, f64) {
+    let qct = results.qct_p99_ms().unwrap_or(f64::NAN);
+    let fct = results.bg_fct_p99_ms().unwrap_or(f64::NAN);
+    (qct, fct)
+}
+
+/// Builds a `SeriesPoint` from baseline and DIBS runs of the same workload.
+pub fn baseline_vs_dibs_point(x: f64, base: &mut RunResults, dibs: &mut RunResults) -> SeriesPoint {
+    let (qb, fb) = headline_metrics(base);
+    let (qd, fd) = headline_metrics(dibs);
+    SeriesPoint::at(x)
+        .with("qct_p99_ms_dctcp", qb)
+        .with("qct_p99_ms_dibs", qd)
+        .with("bg_fct_p99_ms_dctcp", fb)
+        .with("bg_fct_p99_ms_dibs", fd)
+        .with("drops_dctcp", base.counters.total_drops() as f64)
+        .with("drops_dibs", dibs.counters.total_drops() as f64)
+        .with("detoured_frac_dibs", dibs.counters.detoured_fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scale_windows_are_ordered() {
+        assert!(Scale::Quick.duration() < Scale::Default.duration());
+        assert!(Scale::Default.duration() < Scale::Full.duration());
+        assert!(Scale::Quick.heavy_duration() < Scale::Full.heavy_duration());
+    }
+}
+
+#[cfg(test)]
+mod finish_tests {
+    use super::*;
+    use dibs_stats::{ExperimentRecord, SeriesPoint};
+
+    #[test]
+    fn finish_writes_json_and_svg() {
+        let dir = std::env::temp_dir().join(format!("dibs-bench-test-{}", std::process::id()));
+        let h = Harness {
+            scale: Scale::Quick,
+            out_dir: dir.clone(),
+        };
+        let mut rec = ExperimentRecord::new("unit_test_record", "t", "x");
+        rec.push(SeriesPoint::at(1.0).with("m", 2.0));
+        h.finish(&rec);
+        let json = dir.join("unit_test_record.json");
+        let svg = dir.join("unit_test_record.svg");
+        assert!(json.exists());
+        assert!(svg.exists());
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

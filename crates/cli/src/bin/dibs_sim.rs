@@ -1,0 +1,121 @@
+//! `dibs-sim`: run a JSON scenario through the DIBS simulator.
+//!
+//! ```text
+//! Usage: dibs-sim [OPTIONS] <scenario.json>
+//!
+//! Options:
+//!   --json        emit a JSON report instead of text
+//!   --compare     run the scenario under dctcp, dctcp_dibs, and pfabric
+//!   --seed <N>    override the scenario's seed
+//!   --help        show this message
+//! ```
+
+use dibs_cli::{Report, Scenario, Scheme};
+use std::process::ExitCode;
+
+const USAGE: &str = "Usage: dibs-sim [--json] [--compare] [--seed N] <scenario.json>";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut compare = false;
+    let mut seed: Option<u64> = None;
+    let mut path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--compare" => compare = true,
+            "--seed" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = Some(s),
+                _ => {
+                    eprintln!("--seed needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    eprintln!("multiple scenario files given\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
+
+    let schemes: Vec<Scheme> = if compare {
+        vec![Scheme::Dctcp, Scheme::DctcpDibs, Scheme::Pfabric]
+    } else {
+        vec![scenario.scheme]
+    };
+
+    let mut reports = Vec::new();
+    for scheme in schemes {
+        scenario.scheme = scheme;
+        let sim = match scenario.build() {
+            Ok(sim) => sim,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let started = std::time::Instant::now();
+        let mut results = sim.run();
+        let wall = started.elapsed();
+        let report = Report::from_results(&mut results);
+        if !json {
+            println!("=== scheme: {scheme:?} (wall {wall:.2?}) ===");
+            print!("{}", report.render_text());
+            println!();
+        }
+        reports.push((scheme, report));
+    }
+
+    if json {
+        let map: serde_json::Value = serde_json::Value::Object(
+            reports
+                .into_iter()
+                .map(|(scheme, r)| {
+                    (
+                        format!("{scheme:?}").to_lowercase(),
+                        serde_json::from_str(&r.render_json()).expect("report JSON"),
+                    )
+                })
+                .collect(),
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&map).expect("serializes")
+        );
+    }
+    ExitCode::SUCCESS
+}

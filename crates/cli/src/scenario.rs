@@ -1,0 +1,634 @@
+//! JSON scenario schema for the `dibs-sim` command-line runner.
+//!
+//! A scenario bundles a topology, a scheme (switch + host configuration),
+//! traffic, and output options:
+//!
+//! ```json
+//! {
+//!   "seed": 1,
+//!   "topology": { "type": "fat_tree", "k": 8 },
+//!   "scheme": "dctcp_dibs",
+//!   "duration_ms": 400,
+//!   "drain_ms": 600,
+//!   "workloads": [
+//!     { "type": "background", "interarrival_ms": 120 },
+//!     { "type": "query", "qps": 300, "degree": 40, "response_bytes": 20000 }
+//!   ]
+//! }
+//! ```
+
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::{SimDuration, SimTime};
+use dibs_net::builders::{
+    dumbbell, fat_tree, hyperx, jellyfish, linear, mini_testbed, single_switch, FatTreeParams,
+    HyperXParams, JellyfishParams,
+};
+use dibs_net::ids::HostId;
+use dibs_net::topology::{LinkSpec, Topology};
+use dibs_switch::{BufferConfig, DibsPolicy};
+use dibs_transport::FastRetransmit;
+use dibs_workload::{BackgroundTraffic, FlowClass, FlowSpec, QuerySpec, QueryTraffic};
+use serde::Deserialize;
+
+/// Top-level scenario file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Scenario {
+    /// Root random seed (default 1).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// The network to simulate.
+    pub topology: TopologySpec,
+    /// Base scheme: `dctcp`, `dctcp_dibs`, or `pfabric`.
+    #[serde(default)]
+    pub scheme: Scheme,
+    /// Fine-grained overrides applied on top of the scheme.
+    #[serde(default)]
+    pub overrides: Overrides,
+    /// Traffic-generation window in milliseconds.
+    #[serde(default = "default_duration_ms")]
+    pub duration_ms: u64,
+    /// Drain time after the generation window, in milliseconds.
+    #[serde(default = "default_drain_ms")]
+    pub drain_ms: u64,
+    /// Traffic to offer.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Link-utilization sampling interval in milliseconds (0 = off).
+    #[serde(default)]
+    pub sample_interval_ms: u64,
+}
+
+fn default_seed() -> u64 {
+    1
+}
+fn default_duration_ms() -> u64 {
+    400
+}
+fn default_drain_ms() -> u64 {
+    600
+}
+
+/// Topology selection.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum TopologySpec {
+    /// K-ary fat-tree (K even).
+    FatTree {
+        /// Arity (8 = the paper's 128-host fabric).
+        k: usize,
+        /// Divide inter-switch capacity by this factor (default 1).
+        #[serde(default = "one")]
+        oversubscription: u64,
+    },
+    /// The §5.2 testbed: 2 aggregation, 3 edge, 6 hosts.
+    MiniTestbed,
+    /// `hosts` hosts on one switch.
+    SingleSwitch {
+        /// Number of hosts.
+        hosts: usize,
+    },
+    /// Random regular graph.
+    Jellyfish {
+        /// Switch count.
+        switches: usize,
+        /// Inter-switch degree.
+        degree: usize,
+        /// Hosts per switch.
+        hosts_per_switch: usize,
+    },
+    /// Full mesh along each lattice dimension.
+    Hyperx {
+        /// Lattice shape, e.g. `[4, 4]`.
+        shape: Vec<usize>,
+        /// Hosts per switch.
+        hosts_per_switch: usize,
+    },
+    /// A chain of switches.
+    Linear {
+        /// Switch count.
+        switches: usize,
+        /// Hosts per switch.
+        hosts_per_switch: usize,
+    },
+    /// Two switches joined by a bottleneck link.
+    Dumbbell {
+        /// Hosts on each side.
+        hosts_per_side: usize,
+        /// Bottleneck rate in Gbit/s.
+        #[serde(default = "one")]
+        bottleneck_gbps: u64,
+    },
+}
+
+fn one() -> u64 {
+    1
+}
+
+impl TopologySpec {
+    /// Builds the topology (deterministic given `seed` for random families).
+    pub fn build(&self, seed: u64) -> Topology {
+        let gbit = LinkSpec::gbit(1);
+        match *self {
+            TopologySpec::FatTree {
+                k,
+                oversubscription,
+            } => fat_tree(FatTreeParams {
+                k,
+                host_link: gbit,
+                fabric_link: gbit.slower_by(oversubscription),
+            }),
+            TopologySpec::MiniTestbed => mini_testbed(gbit),
+            TopologySpec::SingleSwitch { hosts } => single_switch(hosts, gbit),
+            TopologySpec::Jellyfish {
+                switches,
+                degree,
+                hosts_per_switch,
+            } => {
+                let mut rng = SimRng::new(seed).fork("cli/jellyfish");
+                jellyfish(
+                    JellyfishParams {
+                        switches,
+                        degree,
+                        hosts_per_switch,
+                        host_link: gbit,
+                        fabric_link: gbit,
+                    },
+                    &mut rng,
+                )
+            }
+            TopologySpec::Hyperx {
+                ref shape,
+                hosts_per_switch,
+            } => hyperx(HyperXParams {
+                shape,
+                hosts_per_switch,
+                host_link: gbit,
+                fabric_link: gbit,
+            }),
+            TopologySpec::Linear {
+                switches,
+                hosts_per_switch,
+            } => linear(switches, hosts_per_switch, gbit),
+            TopologySpec::Dumbbell {
+                hosts_per_side,
+                bottleneck_gbps,
+            } => dumbbell(
+                hosts_per_side,
+                hosts_per_side,
+                gbit,
+                LinkSpec {
+                    rate_bps: bottleneck_gbps * 1_000_000_000,
+                    delay: gbit.delay,
+                },
+            ),
+        }
+    }
+}
+
+/// Base scheme presets.
+#[derive(Debug, Clone, Copy, Default, Deserialize, PartialEq, Eq)]
+#[serde(rename_all = "snake_case")]
+pub enum Scheme {
+    /// DCTCP without detouring (droptail baseline).
+    Dctcp,
+    /// DCTCP with random DIBS detouring (the paper's system).
+    #[default]
+    DctcpDibs,
+    /// pFabric switches and host stack.
+    Pfabric,
+}
+
+/// Optional parameter overrides.
+#[derive(Debug, Clone, Default, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Overrides {
+    /// Per-port buffer in packets (`0` = infinite buffers).
+    pub buffer_packets: Option<usize>,
+    /// Shared-memory (DBA) buffer in bytes instead of per-port buffers.
+    pub shared_buffer_bytes: Option<u64>,
+    /// ECN marking threshold in packets (`0` disables marking).
+    pub ecn_threshold: Option<usize>,
+    /// Detour policy: `disabled`, `random`, `load_aware`, `flow_based`, or
+    /// `probabilistic:<onset>` (e.g. `probabilistic:0.85`).
+    pub dibs_policy: Option<String>,
+    /// Minimum RTO in microseconds.
+    pub min_rto_us: Option<u64>,
+    /// Initial TTL.
+    pub ttl: Option<u8>,
+    /// Dupack threshold for fast retransmit (`0` disables it).
+    pub fast_retransmit: Option<u32>,
+    /// Receiver ack coalescing factor.
+    pub ack_every: Option<u32>,
+    /// `flow` or `packet` level ECMP.
+    pub ecmp: Option<String>,
+    /// Enable PFC with `[xoff, xon]` per-ingress thresholds.
+    pub pfc: Option<[usize; 2]>,
+}
+
+/// One traffic component.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum WorkloadSpec {
+    /// DCTCP-paper background traffic.
+    Background {
+        /// Mean per-host flow inter-arrival in milliseconds.
+        interarrival_ms: u64,
+    },
+    /// Partition-aggregate query traffic.
+    Query {
+        /// Queries per second.
+        qps: f64,
+        /// Responders per query.
+        degree: usize,
+        /// Bytes per response.
+        response_bytes: u64,
+    },
+    /// One explicit incast at a fixed time.
+    Incast {
+        /// Target host index.
+        target: u32,
+        /// Number of responders (round-robin over other hosts; may repeat).
+        degree: usize,
+        /// Bytes per response.
+        response_bytes: u64,
+        /// Start time in milliseconds.
+        #[serde(default)]
+        at_ms: u64,
+    },
+    /// §5.6 long-lived node-disjoint pair flows.
+    LongLived {
+        /// Flows per pair per direction.
+        flows_per_pair: usize,
+    },
+    /// A single explicit flow.
+    Flow {
+        /// Source host index.
+        src: u32,
+        /// Destination host index.
+        dst: u32,
+        /// Bytes to transfer.
+        bytes: u64,
+        /// Start time in milliseconds.
+        #[serde(default)]
+        at_ms: u64,
+    },
+}
+
+/// A scenario error with context.
+#[derive(Debug)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario error: {}", self.0)
+    }
+}
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    /// Parses a scenario from JSON.
+    pub fn from_json(s: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(s).map_err(|e| ScenarioError(e.to_string()))
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_millis(self.duration_ms + self.drain_ms)
+    }
+
+    /// Resolves scheme + overrides into a `SimConfig`.
+    pub fn sim_config(&self) -> Result<dibs::SimConfig, ScenarioError> {
+        let mut cfg = match self.scheme {
+            Scheme::Dctcp => dibs::SimConfig::dctcp_baseline(),
+            Scheme::DctcpDibs => dibs::SimConfig::dctcp_dibs(),
+            Scheme::Pfabric => dibs::SimConfig::pfabric(),
+        };
+        cfg.seed = self.seed;
+        cfg.horizon = self.horizon();
+        if self.sample_interval_ms > 0 {
+            cfg.sample_interval = Some(SimDuration::from_millis(self.sample_interval_ms));
+        }
+        let o = &self.overrides;
+        if let Some(pkts) = o.buffer_packets {
+            cfg.switch.buffer = if pkts == 0 {
+                BufferConfig::Infinite
+            } else {
+                BufferConfig::StaticPerPort { packets: pkts }
+            };
+        }
+        if let Some(bytes) = o.shared_buffer_bytes {
+            cfg.switch.buffer = BufferConfig::DynamicShared {
+                total_bytes: bytes,
+                alpha: 1.0,
+                per_port_reserve_bytes: 2 * 1500,
+            };
+        }
+        if let Some(k) = o.ecn_threshold {
+            cfg.switch.ecn_threshold = if k == 0 { None } else { Some(k) };
+        }
+        if let Some(ref p) = o.dibs_policy {
+            cfg.switch.dibs = parse_policy(p)?;
+        }
+        if let Some(us) = o.min_rto_us {
+            cfg.tcp.min_rto = SimDuration::from_micros(us);
+        }
+        if let Some(ttl) = o.ttl {
+            cfg.tcp.initial_ttl = ttl;
+        }
+        if let Some(k) = o.fast_retransmit {
+            cfg.tcp.fast_retransmit = if k == 0 {
+                FastRetransmit::Disabled
+            } else {
+                FastRetransmit::DupAckThreshold(k)
+            };
+        }
+        if let Some(m) = o.ack_every {
+            if m == 0 {
+                return Err(ScenarioError("ack_every must be >= 1".into()));
+            }
+            cfg.tcp.ack_every = m;
+        }
+        if let Some(ref e) = o.ecmp {
+            cfg.ecmp = match e.as_str() {
+                "flow" => dibs::EcmpMode::FlowLevel,
+                "packet" => dibs::EcmpMode::PacketLevel,
+                other => return Err(ScenarioError(format!("unknown ecmp mode `{other}`"))),
+            };
+        }
+        if let Some([xoff, xon]) = o.pfc {
+            if xon >= xoff {
+                return Err(ScenarioError("pfc xon must be below xoff".into()));
+            }
+            cfg.pfc = Some(dibs::PfcConfig {
+                xoff,
+                xon,
+                control_delay: SimDuration::from_micros(1),
+            });
+        }
+        Ok(cfg)
+    }
+
+    /// Builds the fully wired simulation.
+    pub fn build(&self) -> Result<dibs::Simulation, ScenarioError> {
+        let topo = self.topology.build(self.seed);
+        let hosts = topo.num_hosts();
+        if hosts < 2 {
+            return Err(ScenarioError("topology needs at least 2 hosts".into()));
+        }
+        let cfg = self.sim_config()?;
+        let mut sim = dibs::Simulation::new(topo, cfg);
+        let duration = SimDuration::from_millis(self.duration_ms);
+        let root = SimRng::new(self.seed);
+        for (i, wl) in self.workloads.iter().enumerate() {
+            match *wl {
+                WorkloadSpec::Background { interarrival_ms } => {
+                    let mut rng = root.fork_idx("cli/background", i as u64);
+                    sim.add_flows(
+                        BackgroundTraffic::paper(SimDuration::from_millis(interarrival_ms))
+                            .generate(hosts, duration, &mut rng),
+                    );
+                }
+                WorkloadSpec::Query {
+                    qps,
+                    degree,
+                    response_bytes,
+                } => {
+                    if degree >= hosts {
+                        return Err(ScenarioError(format!(
+                            "query degree {degree} needs more than {hosts} hosts"
+                        )));
+                    }
+                    let mut rng = root.fork_idx("cli/query", i as u64);
+                    let queries = QueryTraffic {
+                        qps,
+                        degree,
+                        response_bytes,
+                    }
+                    .generate(hosts, duration, &mut rng);
+                    sim.add_queries(&queries);
+                }
+                WorkloadSpec::Incast {
+                    target,
+                    degree,
+                    response_bytes,
+                    at_ms,
+                } => {
+                    if target as usize >= hosts {
+                        return Err(ScenarioError(format!(
+                            "incast target {target} out of range"
+                        )));
+                    }
+                    let responders: Vec<HostId> = (0..degree)
+                        .map(|j| {
+                            let mut h = j % (hosts - 1);
+                            if h >= target as usize {
+                                h += 1;
+                            }
+                            HostId::from_index(h)
+                        })
+                        .collect();
+                    sim.add_queries(&[QuerySpec {
+                        start: SimTime::from_millis(at_ms),
+                        target: HostId(target),
+                        responders,
+                        response_bytes,
+                    }]);
+                }
+                WorkloadSpec::LongLived { flows_per_pair } => {
+                    if !hosts.is_multiple_of(2) {
+                        return Err(ScenarioError("long_lived needs an even host count".into()));
+                    }
+                    sim.add_flows(dibs_workload::long_lived_pairs(hosts, flows_per_pair));
+                }
+                WorkloadSpec::Flow {
+                    src,
+                    dst,
+                    bytes,
+                    at_ms,
+                } => {
+                    if src == dst || src as usize >= hosts || dst as usize >= hosts {
+                        return Err(ScenarioError(format!("bad flow endpoints {src}->{dst}")));
+                    }
+                    sim.add_flows([FlowSpec {
+                        start: SimTime::from_millis(at_ms),
+                        src: HostId(src),
+                        dst: HostId(dst),
+                        size: bytes,
+                        class: FlowClass::Background,
+                    }]);
+                }
+            }
+        }
+        Ok(sim)
+    }
+}
+
+fn parse_policy(s: &str) -> Result<DibsPolicy, ScenarioError> {
+    match s {
+        "disabled" => Ok(DibsPolicy::Disabled),
+        "random" => Ok(DibsPolicy::Random),
+        "load_aware" => Ok(DibsPolicy::LoadAware),
+        "flow_based" => Ok(DibsPolicy::FlowBased),
+        other => {
+            if let Some(onset) = other.strip_prefix("probabilistic:") {
+                let onset: f64 = onset
+                    .parse()
+                    .map_err(|e| ScenarioError(format!("bad probabilistic onset: {e}")))?;
+                if !(0.0..1.0).contains(&onset) {
+                    return Err(ScenarioError("onset must be in [0, 1)".into()));
+                }
+                Ok(DibsPolicy::Probabilistic { onset })
+            } else {
+                Err(ScenarioError(format!("unknown dibs policy `{other}`")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_scenario() {
+        let s = Scenario::from_json(
+            r#"{
+                "topology": { "type": "mini_testbed" },
+                "workloads": [
+                    { "type": "incast", "target": 5, "degree": 50, "response_bytes": 32000 }
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(s.seed, 1);
+        assert_eq!(s.scheme, Scheme::DctcpDibs);
+        assert_eq!(s.duration_ms, 400);
+        let sim = s.build().unwrap();
+        assert_eq!(sim.topology().num_hosts(), 6);
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let err = Scenario::from_json(
+            r#"{ "topology": { "type": "mini_testbed" }, "workloads": [], "bogus": 1 }"#,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn parses_all_topologies() {
+        for (json, hosts) in [
+            (r#"{ "type": "fat_tree", "k": 4 }"#, 16),
+            (
+                r#"{ "type": "fat_tree", "k": 4, "oversubscription": 4 }"#,
+                16,
+            ),
+            (r#"{ "type": "mini_testbed" }"#, 6),
+            (r#"{ "type": "single_switch", "hosts": 7 }"#, 7),
+            (
+                r#"{ "type": "jellyfish", "switches": 10, "degree": 3, "hosts_per_switch": 2 }"#,
+                20,
+            ),
+            (
+                r#"{ "type": "hyperx", "shape": [3, 3], "hosts_per_switch": 2 }"#,
+                18,
+            ),
+            (
+                r#"{ "type": "linear", "switches": 3, "hosts_per_switch": 2 }"#,
+                6,
+            ),
+            (r#"{ "type": "dumbbell", "hosts_per_side": 4 }"#, 8),
+        ] {
+            let spec: TopologySpec = serde_json::from_str(json).unwrap();
+            let topo = spec.build(7);
+            assert_eq!(topo.num_hosts(), hosts, "{json}");
+            assert!(topo.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let s = Scenario::from_json(
+            r#"{
+                "topology": { "type": "single_switch", "hosts": 4 },
+                "scheme": "dctcp",
+                "overrides": {
+                    "buffer_packets": 50,
+                    "ecn_threshold": 10,
+                    "dibs_policy": "load_aware",
+                    "min_rto_us": 2000,
+                    "ttl": 32,
+                    "fast_retransmit": 0,
+                    "ack_every": 2,
+                    "ecmp": "packet",
+                    "pfc": [12, 6]
+                },
+                "workloads": []
+            }"#,
+        )
+        .unwrap();
+        let cfg = s.sim_config().unwrap();
+        assert_eq!(
+            cfg.switch.buffer,
+            BufferConfig::StaticPerPort { packets: 50 }
+        );
+        assert_eq!(cfg.switch.ecn_threshold, Some(10));
+        assert_eq!(cfg.switch.dibs, DibsPolicy::LoadAware);
+        assert_eq!(cfg.tcp.min_rto, SimDuration::from_micros(2000));
+        assert_eq!(cfg.tcp.initial_ttl, 32);
+        assert_eq!(cfg.tcp.fast_retransmit, FastRetransmit::Disabled);
+        assert_eq!(cfg.tcp.ack_every, 2);
+        assert_eq!(cfg.ecmp, dibs::EcmpMode::PacketLevel);
+        assert!(cfg.pfc.is_some());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("random").unwrap(), DibsPolicy::Random);
+        assert_eq!(parse_policy("disabled").unwrap(), DibsPolicy::Disabled);
+        assert!(matches!(
+            parse_policy("probabilistic:0.8").unwrap(),
+            DibsPolicy::Probabilistic { .. }
+        ));
+        assert!(parse_policy("probabilistic:1.5").is_err());
+        assert!(parse_policy("sideways").is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_workloads() {
+        let s = Scenario::from_json(
+            r#"{
+                "topology": { "type": "single_switch", "hosts": 4 },
+                "workloads": [ { "type": "query", "qps": 10, "degree": 10, "response_bytes": 1 } ]
+            }"#,
+        )
+        .unwrap();
+        assert!(s.build().is_err());
+
+        let s = Scenario::from_json(
+            r#"{
+                "topology": { "type": "single_switch", "hosts": 4 },
+                "workloads": [ { "type": "flow", "src": 2, "dst": 2, "bytes": 5 } ]
+            }"#,
+        )
+        .unwrap();
+        assert!(s.build().is_err());
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let s = Scenario::from_json(
+            r#"{
+                "topology": { "type": "single_switch", "hosts": 3 },
+                "duration_ms": 10,
+                "drain_ms": 200,
+                "workloads": [ { "type": "flow", "src": 1, "dst": 0, "bytes": 100000 } ]
+            }"#,
+        )
+        .unwrap();
+        let results = s.build().unwrap().run();
+        assert_eq!(results.flows.len(), 1);
+        assert_eq!(results.flows[0].bytes_delivered, 100_000);
+    }
+}

@@ -1,0 +1,40 @@
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::FatTreeParams;
+use dibs_switch::{BufferConfig, DibsPolicy};
+use dibs_transport::FastRetransmit;
+
+fn main() {
+    let wl = MixedWorkload {
+        duration: SimDuration::from_millis(400),
+        drain: SimDuration::from_millis(600),
+        ..MixedWorkload::paper_default()
+    };
+    for (name, dibs_on, frtx) in [
+        ("base+frtx3", false, FastRetransmit::DupAckThreshold(3)),
+        ("base+nofrtx", false, FastRetransmit::Disabled),
+        ("dibs+frtx16", true, FastRetransmit::DupAckThreshold(16)),
+        ("dibs+nofrtx", true, FastRetransmit::Disabled),
+    ] {
+        let mut cfg = if dibs_on {
+            SimConfig::dctcp_dibs()
+        } else {
+            SimConfig::dctcp_baseline()
+        };
+        cfg.switch.buffer = BufferConfig::StaticPerPort { packets: 700 };
+        cfg.tcp.fast_retransmit = frtx;
+        if dibs_on {
+            cfg.switch.dibs = DibsPolicy::Random;
+        }
+        let mut r = mixed_workload_sim(FatTreeParams::paper_default(), cfg, wl).run();
+        println!(
+            "{name:>14}: qct_p99={:.1} timeouts={} frtx={} drops={} detours={}",
+            r.qct_p99_ms().unwrap(),
+            r.counters.rto_timeouts,
+            r.counters.fast_retransmits,
+            r.counters.total_drops(),
+            r.counters.detours
+        );
+    }
+}

@@ -1,0 +1,50 @@
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::FatTreeParams;
+use dibs_switch::BufferConfig;
+use dibs_workload::FlowClass;
+
+fn main() {
+    let wl = MixedWorkload {
+        duration: SimDuration::from_millis(400),
+        drain: SimDuration::from_millis(600),
+        ..MixedWorkload::paper_default()
+    };
+    let mut cfg = SimConfig::dctcp_dibs();
+    cfg.switch.buffer = BufferConfig::StaticPerPort { packets: 700 };
+    let r = mixed_workload_sim(FatTreeParams::paper_default(), cfg, wl).run();
+    let mut q_to = 0;
+    let mut bg_to = 0;
+    let mut bg_small = 0;
+    let mut bg_big = 0;
+    for f in &r.flows {
+        if f.timeouts > 0 {
+            match f.class {
+                FlowClass::QueryResponse { .. } => q_to += 1,
+                FlowClass::Background => {
+                    bg_to += 1;
+                    if f.size < 100_000 {
+                        bg_small += 1
+                    } else {
+                        bg_big += 1
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    println!("flows with timeouts: query={q_to} bg={bg_to} (small={bg_small} big={bg_big})");
+    // FCT of the timed-out query flows.
+    let mut worst: Vec<(f64, u64)> = r
+        .flows
+        .iter()
+        .filter(|f| f.timeouts > 0)
+        .map(|f| (f.fct.map(|d| d.as_millis_f64()).unwrap_or(-1.0), f.size))
+        .collect();
+    worst.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!(
+        "worst timed-out flows (fct_ms, size): {:?}",
+        &worst[..worst.len().min(8)]
+    );
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # DIBS: detour-induced buffer sharing — simulator core
+//!
+//! A from-scratch reproduction of *DIBS: Just-in-time Congestion
+//! Mitigation for Data Centers* (EuroSys 2014). When a switch's output
+//! buffer toward a packet's destination is full, instead of dropping the
+//! packet the switch *detours* it out a random other switch-facing port,
+//! temporarily borrowing buffer space from its neighbors. Paired with an
+//! ECN-based congestion controller (DCTCP), this absorbs short incast
+//! bursts nearly losslessly.
+//!
+//! This crate wires the substrates together into a runnable simulator:
+//!
+//! * [`Simulation`] — the event loop: topology, switches, host NICs,
+//!   transports, workloads, metrics.
+//! * [`SimConfig`] — Table 1/2 of the paper as data, with presets for
+//!   DCTCP-baseline, DCTCP+DIBS, and pFabric.
+//! * [`presets`] — the §5.2/§5.3 experiment setups used by every figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dibs::presets::{testbed_incast_sim};
+//! use dibs::SimConfig;
+//!
+//! // The §5.2 incast: 5 senders x 10 flows x 32 KB into one receiver.
+//! let mut results = testbed_incast_sim(SimConfig::dctcp_dibs(), 5, 10, 32_000).run();
+//! assert_eq!(results.counters.total_drops(), 0, "DIBS is near-lossless");
+//! let qct = results.qct_ms.percentile(1.0).unwrap();
+//! assert!(qct < 60.0);
+//! ```
+
+pub mod config;
+pub mod presets;
+pub mod results;
+pub mod sim;
+
+pub use config::{EcmpMode, PfcConfig, SimConfig, SwitchArch};
+pub use results::{FlowOutcome, PacketPath, QueryOutcome, RunResults};
+pub use sim::Simulation;

@@ -1,0 +1,206 @@
+//! Per-run measurement outputs.
+
+use dibs_engine::time::{SimDuration, SimTime};
+use dibs_net::ids::{HostId, PacketId};
+use dibs_stats::{DetourLog, NetCounters, OccupancySnapshot, Samples};
+use dibs_workload::FlowClass;
+
+/// Outcome of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Role of the flow.
+    pub class: FlowClass,
+    /// Sender.
+    pub src: HostId,
+    /// Receiver.
+    pub dst: HostId,
+    /// Bytes requested.
+    pub size: u64,
+    /// Start time.
+    pub start: SimTime,
+    /// Completion latency (receiver got every byte), if it completed.
+    pub fct: Option<SimDuration>,
+    /// Bytes delivered in order by the horizon.
+    pub bytes_delivered: u64,
+    /// Retransmission timeouts taken by the sender.
+    pub timeouts: u64,
+}
+
+/// Outcome of one partition-aggregate query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    /// Query issue time.
+    pub start: SimTime,
+    /// Responders that completed by the horizon.
+    pub completed_responses: usize,
+    /// Total responders.
+    pub total_responses: usize,
+    /// Query completion latency (all responses in), if it completed.
+    pub qct: Option<SimDuration>,
+}
+
+/// A traced packet path (Fig 1): the sequence of nodes the packet visited,
+/// with detour hops flagged.
+#[derive(Debug, Clone)]
+pub struct PacketPath {
+    /// The packet.
+    pub id: PacketId,
+    /// Nodes visited, in order (switches and final host).
+    pub nodes: Vec<dibs_net::NodeId>,
+    /// `detour[i]` — whether the hop *into* `nodes[i]` was a detour.
+    pub detour: Vec<bool>,
+    /// Total detours experienced.
+    pub detours: u16,
+}
+
+/// Everything measured in one run.
+#[derive(Debug)]
+pub struct RunResults {
+    /// Query completion times, milliseconds (the paper's headline metric).
+    pub qct_ms: Samples,
+    /// FCT of *short* (1–10 KB) background flows, milliseconds (§5.3's
+    /// collateral-damage metric).
+    pub bg_short_fct_ms: Samples,
+    /// FCT of all completed background flows, milliseconds.
+    pub bg_all_fct_ms: Samples,
+    /// Per-flow outcomes.
+    pub flows: Vec<FlowOutcome>,
+    /// Per-query outcomes.
+    pub queries: Vec<QueryOutcome>,
+    /// Aggregate network counters.
+    pub counters: NetCounters,
+    /// Detours per switch (indexed by `SwitchId`).
+    pub detours_per_switch: Vec<u64>,
+    /// Capped detour event log (Fig 2a).
+    pub detour_log: DetourLog,
+    /// Histogram of per-packet detour counts at delivery; index = number of
+    /// detours (saturating at the last bucket).
+    pub detour_histogram: Vec<u64>,
+    /// Fraction of links hot (≥ threshold) at each sample tick (Fig 4).
+    pub hot_fraction_samples: Vec<f64>,
+    /// Mean free buffer fraction among 1-hop neighbors of hot switches,
+    /// one value per sample tick that had a hot switch (Fig 5).
+    pub neighbor_free_1hop: Vec<f64>,
+    /// Same for 2-hop neighborhoods.
+    pub neighbor_free_2hop: Vec<f64>,
+    /// Buffer occupancy snapshots (Fig 2b), when enabled.
+    pub occupancy: Vec<OccupancySnapshot>,
+    /// Goodput of each long-lived flow, bits/second (§5.6 fairness).
+    pub long_lived_throughput_bps: Vec<f64>,
+    /// Traced packet paths (Fig 1), when enabled.
+    pub paths: Vec<PacketPath>,
+    /// PFC PAUSE assertions observed (zero unless flow control is on).
+    pub pfc_pause_events: u64,
+    /// Events dispatched by the engine.
+    pub events_dispatched: u64,
+    /// The instant the run stopped.
+    pub finished_at: SimTime,
+}
+
+impl RunResults {
+    /// 99th-percentile QCT in milliseconds.
+    pub fn qct_p99_ms(&mut self) -> Option<f64> {
+        self.qct_ms.percentile(0.99)
+    }
+
+    /// 99th-percentile short-background-flow FCT in milliseconds.
+    pub fn bg_fct_p99_ms(&mut self) -> Option<f64> {
+        self.bg_short_fct_ms.percentile(0.99)
+    }
+
+    /// Fraction of queries that completed.
+    pub fn query_completion_rate(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 1.0;
+        }
+        let done = self.queries.iter().filter(|q| q.qct.is_some()).count();
+        done as f64 / self.queries.len() as f64
+    }
+
+    /// Fraction of delivered packets that were detoured `k`+ times.
+    pub fn detoured_at_least(&self, k: usize) -> f64 {
+        let total: u64 = self.detour_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let at_least: u64 = self.detour_histogram.iter().skip(k).sum();
+        at_least as f64 / total as f64
+    }
+
+    /// Jain's fairness index over the long-lived flow throughputs.
+    pub fn jain(&self) -> Option<f64> {
+        dibs_stats::jain_index(&self.long_lived_throughput_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibs_stats::DetourLog;
+
+    fn empty_results() -> RunResults {
+        RunResults {
+            qct_ms: Samples::new(),
+            bg_short_fct_ms: Samples::new(),
+            bg_all_fct_ms: Samples::new(),
+            flows: Vec::new(),
+            queries: Vec::new(),
+            counters: NetCounters::default(),
+            detours_per_switch: Vec::new(),
+            detour_log: DetourLog::new(0),
+            detour_histogram: vec![0; 65],
+            hot_fraction_samples: Vec::new(),
+            neighbor_free_1hop: Vec::new(),
+            neighbor_free_2hop: Vec::new(),
+            occupancy: Vec::new(),
+            long_lived_throughput_bps: Vec::new(),
+            paths: Vec::new(),
+            pfc_pause_events: 0,
+            events_dispatched: 0,
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_results_are_well_behaved() {
+        let mut r = empty_results();
+        assert_eq!(r.qct_p99_ms(), None);
+        assert_eq!(r.bg_fct_p99_ms(), None);
+        assert_eq!(r.query_completion_rate(), 1.0);
+        assert_eq!(r.detoured_at_least(1), 0.0);
+        assert_eq!(r.jain(), None);
+    }
+
+    #[test]
+    fn detoured_at_least_sums_tail() {
+        let mut r = empty_results();
+        r.detour_histogram[0] = 90;
+        r.detour_histogram[1] = 5;
+        r.detour_histogram[40] = 4;
+        r.detour_histogram[64] = 1;
+        assert!((r.detoured_at_least(0) - 1.0).abs() < 1e-12);
+        assert!((r.detoured_at_least(1) - 0.10).abs() < 1e-12);
+        assert!((r.detoured_at_least(40) - 0.05).abs() < 1e-12);
+        assert!((r.detoured_at_least(65) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_rate_counts_finished_queries() {
+        let mut r = empty_results();
+        r.queries = vec![
+            QueryOutcome {
+                start: SimTime::ZERO,
+                completed_responses: 40,
+                total_responses: 40,
+                qct: Some(SimDuration::from_millis(20)),
+            },
+            QueryOutcome {
+                start: SimTime::ZERO,
+                completed_responses: 10,
+                total_responses: 40,
+                qct: None,
+            },
+        ];
+        assert!((r.query_completion_rate() - 0.5).abs() < 1e-12);
+    }
+}

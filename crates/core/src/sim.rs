@@ -1,0 +1,978 @@
+//! The event-driven network simulator.
+//!
+//! All mutable state lives in arenas indexed by the id types of
+//! `dibs-net`; the event loop dispatches a flat [`Event`] enum. Hosts own a
+//! single unbounded NIC queue (congestion happens at switches, as in the
+//! paper's NS-3 setup); switches run the full `dibs-switch` data path.
+
+use crate::config::SimConfig;
+use crate::results::{FlowOutcome, PacketPath, QueryOutcome, RunResults};
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::{SimDuration, SimTime};
+use dibs_engine::Engine;
+use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
+use dibs_net::packet::Packet;
+use dibs_net::routing::Fib;
+use dibs_net::topology::{SwitchLayer, Topology};
+use dibs_stats::{DetourLog, NetCounters, OccupancySnapshot, Samples};
+use dibs_switch::{EnqueueOutcome, SwitchCore};
+use dibs_transport::{IdGen, TcpReceiver, TcpSender};
+use dibs_workload::{FlowClass, FlowSpec, QuerySpec};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum distinct detour counts tracked in the delivery histogram.
+const DETOUR_HIST_BUCKETS: usize = 65;
+/// Cap on retained packet paths when tracing.
+const MAX_TRACED_PATHS: usize = 4096;
+
+/// Simulator events.
+#[derive(Debug)]
+enum Event {
+    /// A flow's start time arrived.
+    FlowStart(u32),
+    /// A packet finished propagating to `node`.
+    Arrive { node: NodeId, pkt: Packet },
+    /// `node` finished serializing `pkt` out of `port`.
+    TxComplete {
+        node: NodeId,
+        port: u32,
+        pkt: Packet,
+    },
+    /// A sender retransmission timer fired.
+    RtoFire { flow: u32, gen: u64 },
+    /// Periodic statistics tick.
+    Sample,
+    /// Snapshot per-flow delivered bytes for warmup-relative throughput.
+    WarmupSnapshot,
+    /// A PAUSE (true) or RESUME (false) frame took effect at `node`'s
+    /// `port` (Ethernet flow control, §6).
+    PauseSet {
+        node: NodeId,
+        port: u32,
+        paused: bool,
+    },
+}
+
+struct HostNic {
+    queue: VecDeque<Packet>,
+    busy: bool,
+}
+
+struct FlowState {
+    spec: FlowSpec,
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    /// Last RTO generation for which an event was scheduled.
+    timer_scheduled: u64,
+    /// Query this flow belongs to, if any.
+    query: Option<usize>,
+    done_recorded: bool,
+}
+
+struct QueryState {
+    start: SimTime,
+    total: usize,
+    completed: usize,
+    qct: Option<SimDuration>,
+}
+
+#[derive(Default)]
+struct PathTrace {
+    nodes: Vec<NodeId>,
+    detour: Vec<bool>,
+    pending_detour: bool,
+    detours: u16,
+}
+
+/// A fully wired simulation: topology + switches + hosts + traffic.
+///
+/// # Examples
+///
+/// ```
+/// use dibs::{SimConfig, Simulation};
+/// use dibs_engine::time::{SimTime, SimDuration};
+/// use dibs_net::builders::single_switch;
+/// use dibs_net::topology::LinkSpec;
+/// use dibs_net::ids::HostId;
+/// use dibs_workload::{FlowClass, FlowSpec};
+///
+/// let topo = single_switch(3, LinkSpec::gbit(1));
+/// let mut cfg = SimConfig::dctcp_dibs();
+/// cfg.horizon = SimTime::from_secs(1);
+/// let mut sim = Simulation::new(topo, cfg);
+/// sim.add_flows([FlowSpec {
+///     start: SimTime::ZERO,
+///     src: HostId(0),
+///     dst: HostId(1),
+///     size: 100_000,
+///     class: FlowClass::Background,
+/// }]);
+/// let results = sim.run();
+/// assert_eq!(results.flows[0].bytes_delivered, 100_000);
+/// assert!(results.flows[0].fct.is_some());
+/// ```
+pub struct Simulation {
+    topo: Topology,
+    fib: Fib,
+    config: SimConfig,
+    engine: Engine<Event>,
+    rng_detour: SimRng,
+    ids: IdGen,
+
+    switches: Vec<SwitchCore>,
+    host_nic: Vec<HostNic>,
+    /// `tx_busy[node][port]` (hosts use port 0).
+    tx_busy: Vec<Vec<bool>>,
+
+    flows: Vec<FlowState>,
+    queries: Vec<QueryState>,
+
+    counters: NetCounters,
+    detour_log: DetourLog,
+    detours_per_switch: Vec<u64>,
+    detour_hist: Vec<u64>,
+    qct_ms: Samples,
+    bg_short_fct_ms: Samples,
+    bg_all_fct_ms: Samples,
+
+    /// Flat per-directed-edge byte accumulator since the last sample tick.
+    port_tx_bytes: Vec<u64>,
+    /// `port_offsets[node]` — base index of the node's ports in the flat
+    /// arrays.
+    port_offsets: Vec<usize>,
+    hot_samples: Vec<f64>,
+    neighbor_free_1hop: Vec<f64>,
+    neighbor_free_2hop: Vec<f64>,
+    occupancy: Vec<OccupancySnapshot>,
+    /// 1-hop switch neighborhood of each switch (switch indices).
+    neighbors1: Vec<Vec<usize>>,
+    /// 2-hop switch neighborhood (excluding self and 1-hop).
+    neighbors2: Vec<Vec<usize>>,
+    last_sample: SimTime,
+
+    traces: HashMap<u64, PathTrace>,
+    finished_paths: Vec<PacketPath>,
+    /// `(time, per-flow rcv_nxt)` captured at the warmup instant.
+    warmup_snapshot: Option<(SimTime, Vec<u64>)>,
+    /// `paused[node][port]` — the peer has PAUSEd this port (PFC).
+    paused: Vec<Vec<bool>>,
+    /// `ingress_count[switch][port]` — buffered packets that arrived via
+    /// that ingress port (PFC accounting).
+    ingress_count: Vec<Vec<u32>>,
+    /// CIOQ only: per-switch per-input-port ingress queues.
+    ingress_q: Vec<Vec<VecDeque<Packet>>>,
+    /// CIOQ only: whether each input port's forwarding engine is busy.
+    ingress_busy: Vec<Vec<bool>>,
+    /// `pause_asserted[switch][port]` — this switch has paused the link
+    /// partner on `port`.
+    pause_asserted: Vec<Vec<bool>>,
+    /// Total PAUSE assertions (diagnostics).
+    pause_events: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation over `topo` with the given configuration.
+    pub fn new(topo: Topology, config: SimConfig) -> Self {
+        debug_assert!(topo.validate().is_ok());
+        let root = SimRng::new(config.seed);
+        let fib = Fib::compute_salted(&topo, root.fork("ecmp").seed());
+        let rng_detour = root.fork("detour");
+
+        let switches: Vec<SwitchCore> = topo
+            .switch_nodes()
+            .iter()
+            .map(|&n| {
+                let host_facing: Vec<bool> =
+                    topo.node(n).ports.iter().map(|p| p.peer_is_host).collect();
+                SwitchCore::new(n, config.switch, host_facing)
+            })
+            .collect();
+        let host_nic = (0..topo.num_hosts())
+            .map(|_| HostNic {
+                queue: VecDeque::new(),
+                busy: false,
+            })
+            .collect();
+        let tx_busy = (0..topo.num_nodes())
+            .map(|n| vec![false; topo.num_ports(NodeId::from_index(n))])
+            .collect();
+
+        let mut port_offsets = Vec::with_capacity(topo.num_nodes());
+        let mut total_ports = 0;
+        for n in 0..topo.num_nodes() {
+            port_offsets.push(total_ports);
+            total_ports += topo.num_ports(NodeId::from_index(n));
+        }
+
+        // Switch neighborhoods for the Fig 5 statistic.
+        let n_sw = topo.num_switches();
+        let mut neighbors1 = vec![Vec::new(); n_sw];
+        let mut neighbors2 = vec![Vec::new(); n_sw];
+        for (si, &sn) in topo.switch_nodes().iter().enumerate() {
+            let mut one: Vec<usize> = topo
+                .node(sn)
+                .ports
+                .iter()
+                .filter_map(|p| topo.as_switch(p.peer).map(|s| s.index()))
+                .collect();
+            one.sort_unstable();
+            one.dedup();
+            let mut two: Vec<usize> = one
+                .iter()
+                .flat_map(|&m| {
+                    topo.node(topo.switch_node(dibs_net::SwitchId::from_index(m)))
+                        .ports
+                        .iter()
+                        .filter_map(|p| topo.as_switch(p.peer).map(|s| s.index()))
+                })
+                .collect();
+            two.sort_unstable();
+            two.dedup();
+            two.retain(|&m| m != si && !one.contains(&m));
+            neighbors1[si] = one;
+            neighbors2[si] = two;
+        }
+
+        let mut engine = Engine::new();
+        engine.set_horizon(config.horizon);
+
+        Simulation {
+            fib,
+            engine,
+            rng_detour,
+            ids: IdGen::new(),
+            switches,
+            host_nic,
+            tx_busy,
+            flows: Vec::new(),
+            queries: Vec::new(),
+            counters: NetCounters::default(),
+            detour_log: DetourLog::new(config.detour_log_cap),
+            detours_per_switch: vec![0; n_sw],
+            detour_hist: vec![0; DETOUR_HIST_BUCKETS],
+            qct_ms: Samples::new(),
+            bg_short_fct_ms: Samples::new(),
+            bg_all_fct_ms: Samples::new(),
+            port_tx_bytes: vec![0; total_ports],
+            port_offsets,
+            hot_samples: Vec::new(),
+            neighbor_free_1hop: Vec::new(),
+            neighbor_free_2hop: Vec::new(),
+            occupancy: Vec::new(),
+            neighbors1,
+            neighbors2,
+            last_sample: SimTime::ZERO,
+            traces: HashMap::new(),
+            finished_paths: Vec::new(),
+            warmup_snapshot: None,
+            paused: (0..topo.num_nodes())
+                .map(|n| vec![false; topo.num_ports(NodeId::from_index(n))])
+                .collect(),
+            ingress_count: topo
+                .switch_nodes()
+                .iter()
+                .map(|&n| vec![0; topo.num_ports(n)])
+                .collect(),
+            ingress_q: topo
+                .switch_nodes()
+                .iter()
+                .map(|&n| (0..topo.num_ports(n)).map(|_| VecDeque::new()).collect())
+                .collect(),
+            ingress_busy: topo
+                .switch_nodes()
+                .iter()
+                .map(|&n| vec![false; topo.num_ports(n)])
+                .collect(),
+            pause_asserted: topo
+                .switch_nodes()
+                .iter()
+                .map(|&n| vec![false; topo.num_ports(n)])
+                .collect(),
+            pause_events: 0,
+            topo,
+            config,
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Adds standalone flows (background, long-lived, or custom).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-flows or out-of-range hosts.
+    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        for spec in specs {
+            self.add_flow_internal(spec, None);
+        }
+    }
+
+    /// Adds partition-aggregate queries; each expands into its response
+    /// flows and is tracked for QCT.
+    pub fn add_queries(&mut self, specs: &[QuerySpec]) {
+        for spec in specs {
+            let qi = self.queries.len();
+            self.queries.push(QueryState {
+                start: spec.start,
+                total: spec.responders.len(),
+                completed: 0,
+                qct: None,
+            });
+            for flow in spec.response_flows(qi) {
+                self.add_flow_internal(flow, Some(qi));
+            }
+        }
+    }
+
+    fn add_flow_internal(&mut self, spec: FlowSpec, query: Option<usize>) {
+        assert!(spec.src != spec.dst, "self-flow {:?}", spec);
+        assert!(spec.src.index() < self.topo.num_hosts());
+        assert!(spec.dst.index() < self.topo.num_hosts());
+        let fi = self.flows.len() as u32;
+        let flow_id = FlowId(fi);
+        let sender = TcpSender::new(self.config.tcp, flow_id, spec.src, spec.dst, spec.size);
+        let receiver = TcpReceiver::with_delayed_acks(
+            flow_id,
+            spec.dst,
+            spec.src,
+            spec.size,
+            self.config.tcp.initial_ttl,
+            self.config.tcp.ack_every,
+        );
+        self.flows.push(FlowState {
+            spec,
+            sender,
+            receiver,
+            timer_scheduled: 0,
+            query,
+            done_recorded: false,
+        });
+        self.engine.schedule_at(spec.start, Event::FlowStart(fi));
+    }
+
+    /// Runs to completion (event exhaustion or the configured horizon) and
+    /// returns the measurements.
+    pub fn run(mut self) -> RunResults {
+        if let Some(interval) = self.config.sample_interval {
+            self.engine.schedule_in(interval, Event::Sample);
+        }
+        if let Some(warmup) = self.config.throughput_warmup {
+            self.engine.schedule_at(warmup, Event::WarmupSnapshot);
+        }
+        while let Some(ev) = self.engine.next_event() {
+            self.dispatch(ev);
+        }
+        self.finalize()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::FlowStart(fi) => self.on_flow_start(fi as usize),
+            Event::Arrive { node, pkt } => self.on_arrive(node, pkt),
+            Event::TxComplete { node, port, pkt } => self.on_tx_complete(node, port as usize, pkt),
+            Event::RtoFire { flow, gen } => self.on_rto(flow as usize, gen),
+            Event::Sample => self.on_sample(),
+            Event::WarmupSnapshot => {
+                let bytes = self.flows.iter().map(|f| f.receiver.rcv_nxt()).collect();
+                self.warmup_snapshot = Some((self.engine.now(), bytes));
+            }
+            Event::ForwardDone { node, port, pkt } => {
+                let si = self.topo.as_switch(node).expect("switch").index();
+                self.route_and_enqueue(node, si, pkt);
+                self.ingress_busy[si][port as usize] = false;
+                self.start_forwarding(node, si, port as usize);
+            }
+            Event::PauseSet { node, port, paused } => {
+                self.paused[node.index()][port as usize] = paused;
+                if !paused {
+                    // Resume transmission on the released port.
+                    match self.topo.as_host(node) {
+                        Some(host) => {
+                            if !self.host_nic[host.index()].busy {
+                                self.start_host_tx(host);
+                            }
+                        }
+                        None => {
+                            let si = self.topo.as_switch(node).expect("switch").index();
+                            self.kick_switch_port(node, si, port as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host side.
+    // ------------------------------------------------------------------
+
+    fn on_flow_start(&mut self, fi: usize) {
+        let now = self.engine.now();
+        let pkts = self.flows[fi].sender.start(now, &mut self.ids);
+        let src = self.flows[fi].spec.src;
+        for p in pkts {
+            self.host_send(src, p);
+        }
+        self.sync_timer(fi);
+    }
+
+    fn on_rto(&mut self, fi: usize, gen: u64) {
+        let now = self.engine.now();
+        let pkts = self.flows[fi].sender.on_rto(gen, now, &mut self.ids);
+        let src = self.flows[fi].spec.src;
+        for p in pkts {
+            self.host_send(src, p);
+        }
+        self.sync_timer(fi);
+    }
+
+    fn sync_timer(&mut self, fi: usize) {
+        let flow = &mut self.flows[fi];
+        if let Some((deadline, gen)) = flow.sender.timer() {
+            if gen != flow.timer_scheduled {
+                flow.timer_scheduled = gen;
+                self.engine.schedule_at(
+                    deadline,
+                    Event::RtoFire {
+                        flow: fi as u32,
+                        gen,
+                    },
+                );
+            }
+        }
+    }
+
+    fn host_send(&mut self, host: HostId, pkt: Packet) {
+        self.counters.packets_sent += 1;
+        if self.config.trace_paths {
+            let node = self.topo.host_node(host);
+            self.traces.insert(
+                pkt.id.0,
+                PathTrace {
+                    nodes: vec![node],
+                    detour: vec![false],
+                    pending_detour: false,
+                    detours: 0,
+                },
+            );
+        }
+        let nic = &mut self.host_nic[host.index()];
+        if nic.queue.len() >= self.config.host_nic_cap {
+            // Qdisc-style local drop; the transport retransmits later.
+            self.counters.drops_host_nic += 1;
+            self.traces.remove(&pkt.id.0);
+            return;
+        }
+        nic.queue.push_back(pkt);
+        if !nic.busy {
+            self.start_host_tx(host);
+        }
+    }
+
+    fn start_host_tx(&mut self, host: HostId) {
+        let node = self.topo.host_node(host);
+        if self.paused[node.index()][0] {
+            // PFC: the edge switch has paused this host.
+            self.host_nic[host.index()].busy = false;
+            return;
+        }
+        let Some(pkt) = self.host_nic[host.index()].queue.pop_front() else {
+            self.host_nic[host.index()].busy = false;
+            return;
+        };
+        self.host_nic[host.index()].busy = true;
+        let up = self.topo.host_uplink(host);
+        let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), up.rate_bps);
+        self.engine
+            .schedule_in(ser, Event::TxComplete { node, port: 0, pkt });
+    }
+
+    fn deliver(&mut self, host: HostId, pkt: Packet) {
+        debug_assert_eq!(pkt.dst, host, "misrouted packet");
+        self.counters.packets_delivered += 1;
+        self.counters.delivered_hops += u64::from(pkt.hops);
+        if pkt.detours > 0 {
+            self.counters.delivered_detoured += 1;
+        }
+        let bucket = usize::from(pkt.detours).min(DETOUR_HIST_BUCKETS - 1);
+        self.detour_hist[bucket] += 1;
+        if pkt.is_data() {
+            match self.flows[pkt.flow.index()].spec.class {
+                FlowClass::QueryResponse { .. } => {
+                    self.counters.query_pkts_delivered += 1;
+                    if pkt.detours > 0 {
+                        self.counters.query_pkts_detoured += 1;
+                    }
+                }
+                FlowClass::Background => {
+                    self.counters.bg_pkts_delivered += 1;
+                    if pkt.detours > 0 {
+                        self.counters.bg_pkts_detoured += 1;
+                    }
+                }
+                FlowClass::LongLived => {}
+            }
+        }
+        self.finish_trace(&pkt, host);
+
+        let now = self.engine.now();
+        let fi = pkt.flow.index();
+        if pkt.is_data() {
+            debug_assert_eq!(self.flows[fi].spec.dst, host);
+            let ack = self.flows[fi].receiver.on_data(&pkt, now, &mut self.ids);
+            let newly_complete =
+                self.flows[fi].receiver.is_complete() && !self.flows[fi].done_recorded;
+            if newly_complete {
+                self.on_flow_complete(fi);
+            }
+            if let Some(ack) = ack {
+                self.host_send(host, ack);
+            }
+        } else {
+            debug_assert_eq!(self.flows[fi].spec.src, host);
+            let pkts =
+                self.flows[fi]
+                    .sender
+                    .on_ack_ts(pkt.seq, pkt.ece, pkt.ts_echo, now, &mut self.ids);
+            for p in pkts {
+                self.host_send(host, p);
+            }
+            self.sync_timer(fi);
+        }
+    }
+
+    fn on_flow_complete(&mut self, fi: usize) {
+        let now = self.engine.now();
+        let flow = &mut self.flows[fi];
+        flow.done_recorded = true;
+        let fct = now.saturating_since(flow.spec.start);
+        match flow.spec.class {
+            FlowClass::Background => {
+                self.bg_all_fct_ms.push(fct.as_millis_f64());
+                if (1_000..=10_000).contains(&flow.spec.size) {
+                    self.bg_short_fct_ms.push(fct.as_millis_f64());
+                }
+            }
+            FlowClass::QueryResponse { .. } => {}
+            FlowClass::LongLived => {}
+        }
+        if let Some(qi) = flow.query {
+            let q = &mut self.queries[qi];
+            q.completed += 1;
+            if q.completed == q.total && q.qct.is_none() {
+                let qct = now.saturating_since(q.start);
+                q.qct = Some(qct);
+                self.qct_ms.push(qct.as_millis_f64());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wire and switch side.
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+        if let Some(host) = self.topo.as_host(node) {
+            self.record_trace_hop(&pkt, node);
+            self.deliver(host, pkt);
+        } else {
+            self.on_switch_arrive(node, pkt);
+        }
+    }
+
+    fn on_switch_arrive(&mut self, node: NodeId, mut pkt: Packet) {
+        if !pkt.decrement_ttl() {
+            self.counters.drops_ttl += 1;
+            self.traces.remove(&pkt.id.0);
+            return;
+        }
+        pkt.hops += 1;
+        self.record_trace_hop(&pkt, node);
+
+        let si = self.topo.as_switch(node).expect("switch node").index();
+        if let crate::config::SwitchArch::Cioq {
+            ingress_packets, ..
+        } = self.config.arch
+        {
+            // CIOQ: queue at the ingress; the forwarding engine moves
+            // packets to egress at speedup x line rate.
+            let ingress = usize::from(pkt.last_ingress);
+            if self.ingress_q[si][ingress].len() >= ingress_packets {
+                self.counters.drops_buffer += 1;
+                self.traces.remove(&pkt.id.0);
+                return;
+            }
+            self.ingress_q[si][ingress].push_back(pkt);
+            self.start_forwarding(node, si, ingress);
+            return;
+        }
+        self.route_and_enqueue(node, si, pkt);
+    }
+
+    /// CIOQ: start the ingress port's forwarding engine if idle.
+    fn start_forwarding(&mut self, node: NodeId, si: usize, ingress: usize) {
+        if self.ingress_busy[si][ingress] {
+            return;
+        }
+        let Some(pkt) = self.ingress_q[si][ingress].pop_front() else {
+            return;
+        };
+        let crate::config::SwitchArch::Cioq { speedup, .. } = self.config.arch else {
+            unreachable!("ingress queues are only fed in CIOQ mode");
+        };
+        self.ingress_busy[si][ingress] = true;
+        let rate = (self.topo.port(node, ingress).rate_bps as f64 * speedup) as u64;
+        let service = SimDuration::serialization(u64::from(pkt.wire_bytes), rate.max(1));
+        self.engine.schedule_in(
+            service,
+            Event::ForwardDone {
+                node,
+                port: ingress as u32,
+                pkt,
+            },
+        );
+    }
+
+    /// FIB lookup + egress admission (the §2 data path), common to both
+    /// switch architectures.
+    fn route_and_enqueue(&mut self, node: NodeId, si: usize, pkt: Packet) {
+        let desired = match self.config.ecmp {
+            crate::config::EcmpMode::FlowLevel => self.fib.select_port(node, pkt.dst, pkt.flow),
+            crate::config::EcmpMode::PacketLevel => {
+                self.fib.select_port_per_packet(node, pkt.dst, pkt.id.0)
+            }
+        };
+        let Some(desired) = desired else {
+            // Unreachable destination: only possible on malformed topologies.
+            debug_assert!(false, "no route from {node} to {}", pkt.dst);
+            self.counters.drops_buffer += 1;
+            return;
+        };
+
+        let pid = pkt.id.0;
+        let ingress = usize::from(pkt.last_ingress);
+        let result = self.switches[si].enqueue(pkt, desired, &mut self.rng_detour);
+        if let Some(displaced) = result.displaced {
+            self.counters.drops_displaced += 1;
+            self.traces.remove(&displaced.id.0);
+            self.pfc_on_dequeued(si, usize::from(displaced.last_ingress));
+        }
+        match result.outcome {
+            EnqueueOutcome::Enqueued { port } => {
+                self.pfc_on_buffered(node, si, ingress);
+                self.kick_switch_port(node, si, port);
+            }
+            EnqueueOutcome::Detoured { port } => {
+                self.counters.detours += 1;
+                self.detours_per_switch[si] += 1;
+                let layer = layer_code(self.topo.layer(node));
+                self.detour_log.record(self.engine.now(), si as u32, layer);
+                if self.config.trace_paths {
+                    if let Some(t) = self.traces.get_mut(&pid) {
+                        t.pending_detour = true;
+                        t.detours += 1;
+                    }
+                }
+                self.pfc_on_buffered(node, si, ingress);
+                self.kick_switch_port(node, si, port);
+            }
+            EnqueueOutcome::Dropped(_) => {
+                self.counters.drops_buffer += 1;
+                self.traces.remove(&pid);
+            }
+        }
+    }
+
+    fn kick_switch_port(&mut self, node: NodeId, si: usize, port: usize) {
+        if self.tx_busy[node.index()][port] || self.paused[node.index()][port] {
+            return;
+        }
+        let Some(pkt) = self.switches[si].dequeue(port) else {
+            return;
+        };
+        self.tx_busy[node.index()][port] = true;
+        self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
+        let rate = self.topo.port(node, port).rate_bps;
+        let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), rate);
+        self.engine.schedule_in(
+            ser,
+            Event::TxComplete {
+                node,
+                port: port as u32,
+                pkt,
+            },
+        );
+    }
+
+    /// PFC bookkeeping: a packet that arrived via `ingress` was buffered.
+    /// Pauses the link partner on that ingress once its count hits XOFF.
+    fn pfc_on_buffered(&mut self, node: NodeId, si: usize, ingress: usize) {
+        let Some(pfc) = self.config.pfc else { return };
+        self.ingress_count[si][ingress] += 1;
+        if self.pause_asserted[si][ingress] || (self.ingress_count[si][ingress] as usize) < pfc.xoff
+        {
+            return;
+        }
+        self.pause_asserted[si][ingress] = true;
+        self.pause_events += 1;
+        self.send_pause_frame(node, ingress, pfc.control_delay, true);
+    }
+
+    /// PFC bookkeeping on dequeue: releases the ingress partner at XON.
+    fn pfc_on_dequeued(&mut self, si: usize, ingress: usize) {
+        let Some(pfc) = self.config.pfc else { return };
+        self.ingress_count[si][ingress] = self.ingress_count[si][ingress].saturating_sub(1);
+        if !self.pause_asserted[si][ingress] || (self.ingress_count[si][ingress] as usize) > pfc.xon
+        {
+            return;
+        }
+        self.pause_asserted[si][ingress] = false;
+        let node = self.switches[si].node();
+        self.send_pause_frame(node, ingress, pfc.control_delay, false);
+    }
+
+    fn send_pause_frame(&mut self, node: NodeId, port: usize, delay: SimDuration, paused: bool) {
+        let p = self.topo.port(node, port);
+        self.engine.schedule_in(
+            delay,
+            Event::PauseSet {
+                node: p.peer,
+                port: p.peer_port as u32,
+                paused,
+            },
+        );
+    }
+
+    fn on_tx_complete(&mut self, node: NodeId, port: usize, mut pkt: Packet) {
+        let p = self.topo.port(node, port);
+        let peer = p.peer;
+        let delay = p.delay;
+        // Stamp the ingress port the packet will arrive on (PFC accounting).
+        pkt.last_ingress = p.peer_port as u16;
+        self.port_tx_bytes[self.port_offsets[node.index()] + port] += u64::from(pkt.wire_bytes);
+        self.engine
+            .schedule_in(delay, Event::Arrive { node: peer, pkt });
+
+        // Start the next transmission on this port.
+        match self.topo.as_host(node) {
+            Some(host) => {
+                self.start_host_tx(host);
+            }
+            None => {
+                self.tx_busy[node.index()][port] = false;
+                let si = self.topo.as_switch(node).expect("switch").index();
+                self.kick_switch_port(node, si, port);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (Fig 1).
+    // ------------------------------------------------------------------
+
+    fn record_trace_hop(&mut self, pkt: &Packet, node: NodeId) {
+        if !self.config.trace_paths {
+            return;
+        }
+        if let Entry::Occupied(mut e) = self.traces.entry(pkt.id.0) {
+            let t = e.get_mut();
+            let was_detour = std::mem::take(&mut t.pending_detour);
+            t.nodes.push(node);
+            t.detour.push(was_detour);
+        }
+    }
+
+    fn finish_trace(&mut self, pkt: &Packet, _host: HostId) {
+        if !self.config.trace_paths {
+            return;
+        }
+        if let Some(t) = self.traces.remove(&pkt.id.0) {
+            if t.detours > 0 && self.finished_paths.len() < MAX_TRACED_PATHS {
+                self.finished_paths.push(PacketPath {
+                    id: PacketId(pkt.id.0),
+                    nodes: t.nodes,
+                    detour: t.detour,
+                    detours: t.detours,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling (Figs 2, 4, 5).
+    // ------------------------------------------------------------------
+
+    fn on_sample(&mut self) {
+        let now = self.engine.now();
+        let interval = now.saturating_since(self.last_sample);
+        self.last_sample = now;
+        let secs = interval.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+
+        // Per-directed-edge utilization.
+        let mut hot_links = 0usize;
+        let mut total_links = 0usize;
+        let mut hot_switch = vec![false; self.topo.num_switches()];
+        for (idx, (pr, port)) in self.topo.directed_edges().enumerate() {
+            let util = (self.port_tx_bytes[idx] * 8) as f64 / (port.rate_bps as f64 * secs);
+            total_links += 1;
+            if util >= self.config.hot_link_threshold {
+                hot_links += 1;
+                if let Some(s) = self.topo.as_switch(pr.node) {
+                    hot_switch[s.index()] = true;
+                }
+                // The receiving end of a hot link is congestion-adjacent too.
+                if let Some(s) = self.topo.as_switch(port.peer) {
+                    hot_switch[s.index()] = true;
+                }
+            }
+        }
+        for b in &mut self.port_tx_bytes {
+            *b = 0;
+        }
+        self.hot_samples.push(hot_links as f64 / total_links as f64);
+
+        // Neighbor free-buffer statistic (Fig 5), only when something is hot.
+        let mut sum1 = 0.0;
+        let mut n1 = 0usize;
+        let mut sum2 = 0.0;
+        let mut n2 = 0usize;
+        for (si, &hot) in hot_switch.iter().enumerate() {
+            if !hot {
+                continue;
+            }
+            for &m in &self.neighbors1[si] {
+                sum1 += self.switches[m].free_fraction();
+                n1 += 1;
+            }
+            for &m in &self.neighbors2[si] {
+                sum2 += self.switches[m].free_fraction();
+                n2 += 1;
+            }
+        }
+        if n1 > 0 {
+            self.neighbor_free_1hop.push(sum1 / n1 as f64);
+        }
+        if n2 > 0 {
+            self.neighbor_free_2hop.push(sum2 / n2 as f64);
+        }
+
+        if self.config.occupancy_snapshots {
+            let per_switch: Vec<Vec<usize>> = self
+                .switches
+                .iter()
+                .map(|sw| (0..sw.num_ports()).map(|p| sw.queue_len(p)).collect())
+                .collect();
+            self.occupancy.push(OccupancySnapshot {
+                time_s: now.as_secs_f64(),
+                per_switch,
+            });
+        }
+
+        if let Some(interval) = self.config.sample_interval {
+            if now + interval <= self.config.horizon {
+                self.engine.schedule_in(interval, Event::Sample);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization.
+    // ------------------------------------------------------------------
+
+    fn finalize(mut self) -> RunResults {
+        let finished_at = self.engine.now();
+
+        // Fold in switch and sender counters.
+        for sw in &self.switches {
+            self.counters.ecn_marks += sw.counters().marked;
+        }
+        for f in &self.flows {
+            self.counters.rto_timeouts += f.sender.counters().timeouts;
+            self.counters.fast_retransmits += f.sender.counters().fast_retransmits;
+            self.counters.spurious_timeouts += f.sender.counters().spurious_timeouts;
+        }
+
+        let (measure_from, baseline_bytes) = match &self.warmup_snapshot {
+            Some((t, bytes)) => (*t, Some(bytes)),
+            None => (SimTime::ZERO, None),
+        };
+        let elapsed = finished_at
+            .saturating_since(measure_from)
+            .as_secs_f64()
+            .max(1e-9);
+        let mut long_lived = Vec::new();
+        let mut flow_outcomes = Vec::with_capacity(self.flows.len());
+        for (fi, f) in self.flows.iter().enumerate() {
+            let fct = f
+                .receiver
+                .completed_at()
+                .map(|t| t.saturating_since(f.spec.start));
+            if f.spec.class == FlowClass::LongLived {
+                let base = baseline_bytes.map_or(0, |b| b[fi]);
+                long_lived.push((f.receiver.rcv_nxt() - base) as f64 * 8.0 / elapsed);
+            }
+            flow_outcomes.push(FlowOutcome {
+                class: f.spec.class,
+                src: f.spec.src,
+                dst: f.spec.dst,
+                size: f.spec.size,
+                start: f.spec.start,
+                fct,
+                bytes_delivered: f.receiver.rcv_nxt(),
+                timeouts: f.sender.counters().timeouts,
+            });
+        }
+        let query_outcomes: Vec<QueryOutcome> = self
+            .queries
+            .iter()
+            .map(|q| QueryOutcome {
+                start: q.start,
+                completed_responses: q.completed,
+                total_responses: q.total,
+                qct: q.qct,
+            })
+            .collect();
+
+        RunResults {
+            qct_ms: self.qct_ms,
+            bg_short_fct_ms: self.bg_short_fct_ms,
+            bg_all_fct_ms: self.bg_all_fct_ms,
+            flows: flow_outcomes,
+            queries: query_outcomes,
+            counters: self.counters,
+            detours_per_switch: self.detours_per_switch,
+            detour_log: self.detour_log,
+            detour_histogram: self.detour_hist,
+            hot_fraction_samples: self.hot_samples,
+            neighbor_free_1hop: self.neighbor_free_1hop,
+            neighbor_free_2hop: self.neighbor_free_2hop,
+            occupancy: self.occupancy,
+            long_lived_throughput_bps: long_lived,
+            paths: self.finished_paths,
+            pfc_pause_events: self.pause_events,
+            events_dispatched: self.engine.dispatched(),
+            finished_at,
+        }
+    }
+}
+
+fn layer_code(layer: SwitchLayer) -> u8 {
+    match layer {
+        SwitchLayer::Edge => 0,
+        SwitchLayer::Aggregation => 1,
+        SwitchLayer::Core => 2,
+        SwitchLayer::Other => 3,
+    }
+}

@@ -1,0 +1,187 @@
+//! The future-event list.
+//!
+//! A thin wrapper over a binary heap keyed on `(time, sequence)`. The
+//! monotone sequence number gives deterministic FIFO ordering among events
+//! scheduled for the same instant, which is what makes whole simulation runs
+//! reproducible from a seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events popped from the queue come out in nondecreasing time order; ties
+/// are broken by insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use dibs_engine::queue::EventQueue;
+/// use dibs_engine::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever dispatched.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for i in (0..100u64).rev() {
+            q.push(SimTime::from_nanos(i * 7), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO + SimDuration::from_nanos(1), ());
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.total_popped(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Strongly typed identifiers for network entities.
+//!
+//! All simulator state lives in index arenas; these newtypes keep the many
+//! `usize` indices from being confused with one another.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The wrapped index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs an id from a raw `usize` index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as $inner)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in the topology graph (host or switch).
+    NodeId,
+    u32
+);
+id_type!(
+    /// A host, indexed within the topology's host list.
+    HostId,
+    u32
+);
+id_type!(
+    /// A switch, indexed within the topology's switch list.
+    SwitchId,
+    u32
+);
+id_type!(
+    /// An undirected link.
+    LinkId,
+    u32
+);
+id_type!(
+    /// A transport flow.
+    FlowId,
+    u32
+);
+id_type!(
+    /// A single packet instance.
+    PacketId,
+    u64
+);
+
+/// A directed endpoint: a specific port on a specific node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRef {
+    /// The owning node.
+    pub node: NodeId,
+    /// Port index within that node.
+    pub port: usize,
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(NodeId::from_index(17).index(), 17);
+        assert_eq!(FlowId::from_index(0).index(), 0);
+        assert_eq!(PacketId::from_index(123456789).index(), 123456789);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(NodeId(3).to_string(), "NodeId(3)");
+        assert_eq!(
+            PortRef {
+                node: NodeId(3),
+                port: 2
+            }
+            .to_string(),
+            "NodeId(3):2"
+        );
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(HostId(1));
+        s.insert(HostId(1));
+        s.insert(HostId(2));
+        assert_eq!(s.len(), 2);
+        assert!(SwitchId(1) < SwitchId(2));
+    }
+}

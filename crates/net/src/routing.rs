@@ -1,0 +1,300 @@
+//! Destination-based forwarding tables with flow-level ECMP.
+//!
+//! Following the paper's requirements (§3): switches forward on FIBs
+//! computed over all shortest paths, picking among equal-cost next hops with
+//! a flow-level hash. Crucially, the FIB answers "next hop toward host H"
+//! from *any* node, so a packet that DIBS detoured off its shortest path
+//! still routes correctly from wherever it lands.
+
+use crate::ids::{FlowId, HostId, NodeId};
+use crate::topology::Topology;
+use dibs_engine::rng::splitmix64;
+use std::collections::VecDeque;
+
+/// All-pairs shortest-path forwarding state.
+///
+/// For every `(node, destination host)` pair the FIB stores the set of ports
+/// that lie on *some* shortest path, plus the distance in hops.
+///
+/// # Examples
+///
+/// ```
+/// use dibs_net::builders::{fat_tree, FatTreeParams};
+/// use dibs_net::routing::Fib;
+/// use dibs_net::ids::HostId;
+///
+/// let topo = fat_tree(FatTreeParams { k: 4, ..FatTreeParams::paper_default() });
+/// let fib = Fib::compute(&topo);
+/// // Fat-tree diameter is 6 host-to-host hops.
+/// assert_eq!(fib.distance(topo.host_node(HostId(0)), HostId(15)), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fib {
+    /// `ports[node][dst_host]` = equal-cost out-ports, ascending.
+    ports: Vec<Vec<Vec<u16>>>,
+    /// `dist[node][dst_host]` = shortest hop count (u16::MAX if unreachable).
+    dist: Vec<Vec<u16>>,
+    /// Per-instance ECMP salt so distinct simulations hash differently.
+    salt: u64,
+}
+
+impl Fib {
+    /// Computes the FIB with the default salt.
+    pub fn compute(topo: &Topology) -> Self {
+        Self::compute_salted(topo, 0)
+    }
+
+    /// Computes the FIB; `salt` perturbs the ECMP hash (used to decorrelate
+    /// repeated runs).
+    pub fn compute_salted(topo: &Topology, salt: u64) -> Self {
+        let n = topo.num_nodes();
+        let h = topo.num_hosts();
+        let mut ports = vec![vec![Vec::new(); h]; n];
+        let mut dist = vec![vec![u16::MAX; h]; n];
+
+        // One reverse BFS per destination host. Distances are from each node
+        // *to* the destination; a port is usable iff its peer is strictly
+        // closer.
+        let mut queue = VecDeque::new();
+        for dst in 0..h {
+            let dst_host = HostId::from_index(dst);
+            let dst_node = topo.host_node(dst_host);
+            let d = &mut dist;
+            d[dst_node.index()][dst] = 0;
+            queue.clear();
+            queue.push_back(dst_node);
+            while let Some(u) = queue.pop_front() {
+                let du = d[u.index()][dst];
+                // Hosts other than the destination do not forward traffic.
+                if topo.is_host(u) && u != dst_node {
+                    continue;
+                }
+                for p in &topo.node(u).ports {
+                    let v = p.peer;
+                    if d[v.index()][dst] == u16::MAX {
+                        d[v.index()][dst] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for node in 0..n {
+                let dn = dist[node][dst];
+                if dn == u16::MAX || dn == 0 {
+                    continue;
+                }
+                let entry: Vec<u16> = topo
+                    .node(NodeId::from_index(node))
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| dist[p.peer.index()][dst] == dn - 1)
+                    .map(|(i, _)| i as u16)
+                    .collect();
+                ports[node][dst] = entry;
+            }
+        }
+        Fib { ports, dist, salt }
+    }
+
+    /// Shortest-path distance from `node` to host `dst`, in hops.
+    ///
+    /// Returns `u16::MAX` when unreachable.
+    pub fn distance(&self, node: NodeId, dst: HostId) -> u16 {
+        self.dist[node.index()][dst.index()]
+    }
+
+    /// All equal-cost out-ports from `node` toward `dst`.
+    pub fn next_hops(&self, node: NodeId, dst: HostId) -> &[u16] {
+        &self.ports[node.index()][dst.index()]
+    }
+
+    /// The ECMP-selected out-port for a given flow, or `None` if the
+    /// destination is unreachable from `node`.
+    ///
+    /// Selection is flow-level: all packets of `flow` leaving `node` toward
+    /// `dst` pick the same port.
+    pub fn select_port(&self, node: NodeId, dst: HostId, flow: FlowId) -> Option<usize> {
+        let hops = self.next_hops(node, dst);
+        match hops.len() {
+            0 => None,
+            1 => Some(usize::from(hops[0])),
+            n => {
+                let h = ecmp_hash(flow, node, dst, self.salt);
+                Some(usize::from(hops[(h % n as u64) as usize]))
+            }
+        }
+    }
+
+    /// The ECMP salt in use.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Packet-level ECMP (§6): picks among equal-cost ports using
+    /// per-packet entropy instead of the flow hash, spraying one flow's
+    /// packets across all shortest paths.
+    pub fn select_port_per_packet(
+        &self,
+        node: NodeId,
+        dst: HostId,
+        packet_entropy: u64,
+    ) -> Option<usize> {
+        let hops = self.next_hops(node, dst);
+        match hops.len() {
+            0 => None,
+            1 => Some(usize::from(hops[0])),
+            n => {
+                let h = splitmix64(packet_entropy ^ self.salt ^ (u64::from(node.0) << 32));
+                Some(usize::from(hops[(h % n as u64) as usize]))
+            }
+        }
+    }
+}
+
+/// Flow-level ECMP hash.
+///
+/// Stable across packets of one flow at one node; well mixed across flows
+/// and nodes.
+pub fn ecmp_hash(flow: FlowId, node: NodeId, dst: HostId, salt: u64) -> u64 {
+    let mut x = salt ^ 0xECB9_55C0_11EC_0DD5;
+    x = splitmix64(x ^ u64::from(flow.0));
+    x = splitmix64(x ^ (u64::from(node.0) << 32) ^ u64::from(dst.0));
+    splitmix64(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{fat_tree, linear, mini_testbed, FatTreeParams};
+    use crate::topology::LinkSpec;
+
+    fn k4() -> (Topology, Fib) {
+        let topo = fat_tree(FatTreeParams {
+            k: 4,
+            ..FatTreeParams::paper_default()
+        });
+        let fib = Fib::compute(&topo);
+        (topo, fib)
+    }
+
+    #[test]
+    fn distances_in_fat_tree() {
+        let (topo, fib) = k4();
+        // Same edge switch: 2 hops. Same pod, different edge: 4. Cross-pod: 6.
+        let h0 = topo.host_node(HostId(0));
+        assert_eq!(fib.distance(h0, HostId(0)), 0);
+        assert_eq!(fib.distance(h0, HostId(1)), 2);
+        assert_eq!(fib.distance(h0, HostId(2)), 4);
+        assert_eq!(fib.distance(h0, HostId(4)), 6);
+        assert_eq!(fib.distance(h0, HostId(15)), 6);
+    }
+
+    #[test]
+    fn every_switch_reaches_every_host() {
+        let (topo, fib) = k4();
+        for &sw in topo.switch_nodes() {
+            for h in 0..topo.num_hosts() {
+                let dst = HostId::from_index(h);
+                assert!(
+                    !fib.next_hops(sw, dst).is_empty(),
+                    "{} has no route to {dst}",
+                    topo.node(sw).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_exists_cross_pod() {
+        let (topo, fib) = k4();
+        // From an edge switch, a cross-pod destination should have 2 uplinks
+        // (both aggregation switches).
+        let h0_edge = topo.host_uplink(HostId(0)).peer;
+        assert_eq!(fib.next_hops(h0_edge, HostId(15)).len(), 2);
+        // And a same-rack destination exactly one (the host port).
+        assert_eq!(fib.next_hops(h0_edge, HostId(1)).len(), 1);
+    }
+
+    #[test]
+    fn routes_never_traverse_third_party_hosts() {
+        let (topo, fib) = k4();
+        // Walk a route greedily from every host to every other host; each
+        // intermediate node must be a switch.
+        for s in 0..topo.num_hosts() {
+            for d in 0..topo.num_hosts() {
+                if s == d {
+                    continue;
+                }
+                let dst = HostId::from_index(d);
+                let mut at = topo.host_node(HostId::from_index(s));
+                let mut hops = 0;
+                while topo.as_host(at) != Some(dst) {
+                    let port = fib
+                        .select_port(at, dst, FlowId(7))
+                        .expect("route must exist");
+                    at = topo.port(at, port).peer;
+                    hops += 1;
+                    assert!(hops <= 6, "route too long");
+                    if topo.is_host(at) {
+                        assert_eq!(topo.as_host(at), Some(dst), "route hit a third-party host");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_is_flow_stable_and_spreads() {
+        let (topo, fib) = k4();
+        let edge = topo.host_uplink(HostId(0)).peer;
+        let dst = HostId(15);
+        // Stability.
+        let p1 = fib.select_port(edge, dst, FlowId(3)).unwrap();
+        let p2 = fib.select_port(edge, dst, FlowId(3)).unwrap();
+        assert_eq!(p1, p2);
+        // Spread: over many flows both uplinks are used, roughly evenly.
+        let mut counts = std::collections::HashMap::new();
+        for f in 0..1000 {
+            let p = fib.select_port(edge, dst, FlowId(f)).unwrap();
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 2);
+        for &c in counts.values() {
+            assert!((350..=650).contains(&c), "imbalanced ECMP: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn mini_testbed_routes() {
+        let topo = mini_testbed(LinkSpec::gbit(1));
+        let fib = Fib::compute(&topo);
+        // Hosts on different edge switches are 4 hops apart (host-edge-aggr-edge-host).
+        let h0 = topo.host_node(HostId(0));
+        assert_eq!(fib.distance(h0, HostId(2)), 4);
+        // Two equal-cost aggregation choices from each edge switch.
+        let edge = topo.host_uplink(HostId(0)).peer;
+        assert_eq!(fib.next_hops(edge, HostId(4)).len(), 2);
+    }
+
+    #[test]
+    fn linear_topology_routes() {
+        let topo = linear(4, 1, LinkSpec::gbit(1));
+        let fib = Fib::compute(&topo);
+        let h0 = topo.host_node(HostId(0));
+        assert_eq!(fib.distance(h0, HostId(3)), 5);
+        // Single path everywhere.
+        for &sw in topo.switch_nodes() {
+            for h in 0..topo.num_hosts() {
+                assert!(fib.next_hops(sw, HostId::from_index(h)).len() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn salt_changes_hash() {
+        assert_ne!(
+            ecmp_hash(FlowId(1), NodeId(2), HostId(3), 0),
+            ecmp_hash(FlowId(1), NodeId(2), HostId(3), 1)
+        );
+    }
+}

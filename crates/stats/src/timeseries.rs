@@ -1,0 +1,139 @@
+//! Time-series collectors for the Figure 2 style diagnostics.
+
+use dibs_engine::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A `(time, value)` series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Samples in insertion (time) order, seconds + value.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t.as_secs_f64(), v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum value, if any.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+}
+
+/// One detour event: which switch detoured a packet and when (Fig 2a plots
+/// exactly this scatter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetourEvent {
+    /// Time in seconds.
+    pub time_s: f64,
+    /// Switch index (topology `SwitchId`).
+    pub switch: u32,
+    /// Switch layer: 0 = edge, 1 = aggregation, 2 = core, 3 = other.
+    pub layer: u8,
+}
+
+/// An append-only log of detour events with a hard cap (the scatter only
+/// needs enough points to draw; unbounded logging would dominate memory in
+/// extreme runs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetourLog {
+    /// Captured events (up to `cap`).
+    pub events: Vec<DetourEvent>,
+    /// Capacity cap.
+    pub cap: usize,
+    /// Events observed in total, including those beyond the cap.
+    pub observed: u64,
+}
+
+impl DetourLog {
+    /// Creates a log capped at `cap` events.
+    pub fn new(cap: usize) -> Self {
+        DetourLog {
+            events: Vec::new(),
+            cap,
+            observed: 0,
+        }
+    }
+
+    /// Records a detour at `switch`/`layer`.
+    pub fn record(&mut self, time: SimTime, switch: u32, layer: u8) {
+        self.observed += 1;
+        if self.events.len() < self.cap {
+            self.events.push(DetourEvent {
+                time_s: time.as_secs_f64(),
+                switch,
+                layer,
+            });
+        }
+    }
+
+    /// Whether events were discarded due to the cap.
+    pub fn truncated(&self) -> bool {
+        self.observed > self.events.len() as u64
+    }
+}
+
+/// A buffer-occupancy snapshot for one switch: one value per port (Fig 2b's
+/// bar groups).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OccupancySnapshot {
+    /// Time in seconds.
+    pub time_s: f64,
+    /// `per_switch[s][p]` = packets queued on port `p` of switch `s`.
+    pub per_switch: Vec<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(SimTime::from_millis(1), 3.0);
+        ts.push(SimTime::from_millis(2), 5.0);
+        ts.push(SimTime::from_millis(3), 4.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.max_value(), Some(5.0));
+        assert_eq!(ts.points[0], (0.001, 3.0));
+    }
+
+    #[test]
+    fn detour_log_caps() {
+        let mut log = DetourLog::new(3);
+        for i in 0..10 {
+            log.record(SimTime::from_micros(i), i as u32, 0);
+        }
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.observed, 10);
+        assert!(log.truncated());
+    }
+
+    #[test]
+    fn empty_series_max() {
+        assert_eq!(TimeSeries::new().max_value(), None);
+    }
+}

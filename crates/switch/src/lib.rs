@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Switch models for the DIBS reproduction.
+//!
+//! The pieces:
+//!
+//! * [`queue`] — FIFO and pFabric per-port queues.
+//! * [`buffer`] — static per-port, dynamic shared (DBA), and infinite
+//!   buffer admission control.
+//! * [`dibs`] — the detour-port policies (random default plus the §7
+//!   variants).
+//! * [`lookup`] — the NetFPGA output-port-lookup stage as a bitmap
+//!   decision, used by the hardware-substitution microbenchmark.
+//! * [`switch`] — [`switch::SwitchCore`], tying the above into the full
+//!   data path used by the simulator.
+
+pub mod buffer;
+pub mod dibs;
+pub mod lookup;
+pub mod queue;
+pub mod switch;
+
+pub use buffer::{BufferConfig, BufferManager};
+pub use dibs::DibsPolicy;
+pub use queue::{Discipline, PortQueue};
+pub use switch::{
+    DropReason, EnqueueOutcome, EnqueueResult, SwitchConfig, SwitchCore, SwitchCounters,
+};

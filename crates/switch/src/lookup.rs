@@ -1,0 +1,225 @@
+//! The NetFPGA "Output Port Lookup" stage, modeled in software.
+//!
+//! §5.1 of the paper implements DIBS in the NetFPGA reference switch by
+//! handing the destination-based lookup module a *bitmap of available output
+//! ports* (those whose queues are not full). The module ANDs this with the
+//! forwarding entry's desired-port bitmap; if the result is nonzero the
+//! packet is forwarded normally, otherwise it is detoured to a set bit of
+//! the available bitmap — all within a single clock cycle.
+//!
+//! We reproduce that decision path bit-for-bit (for switches of up to 64
+//! ports) and benchmark it in `dibs-bench` as the substitute for the paper's
+//! line-rate hardware validation: the claim being checked is that the DIBS
+//! decision adds no measurable latency over the plain lookup.
+
+/// A set of ports, one bit per port (port *i* = bit *i*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortBitmap(pub u64);
+
+impl PortBitmap {
+    /// The empty set.
+    pub const EMPTY: PortBitmap = PortBitmap(0);
+
+    /// A singleton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= 64`.
+    pub fn single(port: usize) -> Self {
+        assert!(port < 64, "bitmap supports up to 64 ports");
+        PortBitmap(1 << port)
+    }
+
+    /// Builds a set from port indices.
+    pub fn from_ports(ports: impl IntoIterator<Item = usize>) -> Self {
+        let mut bm = 0u64;
+        for p in ports {
+            assert!(p < 64, "bitmap supports up to 64 ports");
+            bm |= 1 << p;
+        }
+        PortBitmap(bm)
+    }
+
+    /// Inserts a port.
+    pub fn set(&mut self, port: usize) {
+        assert!(port < 64);
+        self.0 |= 1 << port;
+    }
+
+    /// Removes a port.
+    pub fn clear(&mut self, port: usize) {
+        assert!(port < 64);
+        self.0 &= !(1 << port);
+    }
+
+    /// Whether the port is present.
+    pub fn contains(&self, port: usize) -> bool {
+        port < 64 && self.0 & (1 << port) != 0
+    }
+
+    /// Number of ports present.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The `n`-th set bit (0-based), if any — constant-time-ish selection
+    /// used to pick a uniformly random member.
+    pub fn nth_set(&self, mut n: u32) -> Option<usize> {
+        let mut bits = self.0;
+        while bits != 0 {
+            let tz = bits.trailing_zeros();
+            if n == 0 {
+                return Some(tz as usize);
+            }
+            n -= 1;
+            bits &= bits - 1;
+        }
+        None
+    }
+}
+
+/// Outcome of the output-port-lookup stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupDecision {
+    /// Desired port has room: forward normally.
+    Forward(usize),
+    /// Desired port full, detour port chosen.
+    Detour(usize),
+    /// No available port at all: drop.
+    Drop,
+}
+
+/// The single-cycle forward-or-detour decision.
+///
+/// `desired` is the forwarding entry's output bitmap (a single bit under
+/// destination routing), `available` the not-full ports, and
+/// `detour_eligible` the switch-facing ports that DIBS may use. `entropy`
+/// supplies the random choice among eligible detour ports.
+///
+/// # Examples
+///
+/// ```
+/// use dibs_switch::lookup::{decide, LookupDecision, PortBitmap};
+///
+/// let desired = PortBitmap::single(3);
+/// let avail = PortBitmap::from_ports([1, 2]);
+/// let eligible = PortBitmap::from_ports([1, 2]);
+/// match decide(desired, avail, eligible, 0) {
+///     LookupDecision::Detour(p) => assert!(p == 1 || p == 2),
+///     other => panic!("expected detour, got {other:?}"),
+/// }
+/// ```
+#[inline]
+pub fn decide(
+    desired: PortBitmap,
+    available: PortBitmap,
+    detour_eligible: PortBitmap,
+    entropy: u64,
+) -> LookupDecision {
+    let hit = desired.0 & available.0;
+    if hit != 0 {
+        return LookupDecision::Forward(hit.trailing_zeros() as usize);
+    }
+    let candidates = PortBitmap(available.0 & detour_eligible.0 & !desired.0);
+    let n = candidates.count();
+    if n == 0 {
+        return LookupDecision::Drop;
+    }
+    let pick = (entropy % u64::from(n)) as u32;
+    LookupDecision::Detour(candidates.nth_set(pick).expect("count checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_when_desired_available() {
+        let d = decide(
+            PortBitmap::single(5),
+            PortBitmap::from_ports([4, 5, 6]),
+            PortBitmap::from_ports([4, 6]),
+            99,
+        );
+        assert_eq!(d, LookupDecision::Forward(5));
+    }
+
+    #[test]
+    fn detour_when_desired_full() {
+        let d = decide(
+            PortBitmap::single(5),
+            PortBitmap::from_ports([4, 6]),
+            PortBitmap::from_ports([4, 6]),
+            0,
+        );
+        assert!(matches!(
+            d,
+            LookupDecision::Detour(4) | LookupDecision::Detour(6)
+        ));
+    }
+
+    #[test]
+    fn drop_when_nothing_available() {
+        let d = decide(
+            PortBitmap::single(5),
+            PortBitmap::EMPTY,
+            PortBitmap::from_ports([4, 6]),
+            1,
+        );
+        assert_eq!(d, LookupDecision::Drop);
+    }
+
+    #[test]
+    fn drop_when_only_ineligible_available() {
+        // Port 2 has room but faces a host: must drop, not detour there.
+        let d = decide(
+            PortBitmap::single(5),
+            PortBitmap::from_ports([2]),
+            PortBitmap::from_ports([4, 6]),
+            1,
+        );
+        assert_eq!(d, LookupDecision::Drop);
+    }
+
+    #[test]
+    fn entropy_spreads_detours_uniformly() {
+        let mut counts = [0u32; 3];
+        let eligible = PortBitmap::from_ports([1, 3, 7]);
+        for e in 0..3000u64 {
+            match decide(PortBitmap::single(0), eligible, eligible, e) {
+                LookupDecision::Detour(1) => counts[0] += 1,
+                LookupDecision::Detour(3) => counts[1] += 1,
+                LookupDecision::Detour(7) => counts[2] += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for c in counts {
+            assert_eq!(c, 1000);
+        }
+    }
+
+    #[test]
+    fn nth_set_walks_bits() {
+        let bm = PortBitmap::from_ports([0, 9, 33]);
+        assert_eq!(bm.nth_set(0), Some(0));
+        assert_eq!(bm.nth_set(1), Some(9));
+        assert_eq!(bm.nth_set(2), Some(33));
+        assert_eq!(bm.nth_set(3), None);
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    fn bitmap_set_clear() {
+        let mut bm = PortBitmap::EMPTY;
+        bm.set(7);
+        assert!(bm.contains(7));
+        bm.clear(7);
+        assert!(bm.is_empty());
+        assert!(!bm.contains(63));
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-port packet queues.
+//!
+//! Two disciplines are modeled: the FIFO droptail queue used by the
+//! DCTCP/DIBS experiments, and the bounded priority queue of pFabric (§5.8),
+//! which drops the *lowest-priority* resident packet to admit a
+//! higher-priority arrival and dequeues in priority order.
+
+use dibs_net::packet::Packet;
+use std::collections::VecDeque;
+
+/// Queue service discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-in first-out (the default in all DCTCP/DIBS experiments).
+    Fifo,
+    /// pFabric: priority dequeue, priority-displacement on overflow.
+    Pfabric,
+}
+
+/// A single output-port queue.
+#[derive(Debug)]
+pub struct PortQueue {
+    packets: VecDeque<Packet>,
+    bytes: u64,
+    discipline: Discipline,
+}
+
+impl PortQueue {
+    /// Creates an empty queue with the given discipline.
+    pub fn new(discipline: Discipline) -> Self {
+        PortQueue {
+            packets: VecDeque::new(),
+            bytes: 0,
+            discipline,
+        }
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total queued bytes (wire sizes).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The discipline this queue runs.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
+    }
+
+    /// Appends a packet (admission control happens in the switch, not here).
+    pub fn push(&mut self, pkt: Packet) {
+        self.bytes += u64::from(pkt.wire_bytes);
+        self.packets.push_back(pkt);
+    }
+
+    /// Removes the next packet to transmit according to the discipline.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let idx = match self.discipline {
+            Discipline::Fifo => 0,
+            Discipline::Pfabric => self.highest_priority_index()?,
+        };
+        let pkt = self.packets.remove(idx)?;
+        self.bytes -= u64::from(pkt.wire_bytes);
+        Some(pkt)
+    }
+
+    /// Index of the packet that pFabric would transmit next: numerically
+    /// smallest priority value; FIFO among ties (which also keeps one flow's
+    /// packets in order, since a flow's remaining size only shrinks).
+    fn highest_priority_index(&self) -> Option<usize> {
+        if self.packets.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, p) in self.packets.iter().enumerate().skip(1) {
+            if p.priority < self.packets[best].priority {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Index of the packet pFabric would displace: numerically largest
+    /// priority value, most recent among ties.
+    pub fn lowest_priority_index(&self) -> Option<usize> {
+        if self.packets.is_empty() {
+            return None;
+        }
+        let mut worst = 0usize;
+        for (i, p) in self.packets.iter().enumerate().skip(1) {
+            if p.priority >= self.packets[worst].priority {
+                worst = i;
+            }
+        }
+        Some(worst)
+    }
+
+    /// Removes the packet at `idx` (used for pFabric displacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove(&mut self, idx: usize) -> Packet {
+        let pkt = self.packets.remove(idx).expect("index in range");
+        self.bytes -= u64::from(pkt.wire_bytes);
+        pkt
+    }
+
+    /// Read-only view of the resident packets in queue order.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.packets.iter()
+    }
+
+    /// Drops all resident packets.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibs_engine::time::SimTime;
+    use dibs_net::ids::{FlowId, HostId, PacketId};
+
+    fn pkt(id: u64, priority: u64) -> Packet {
+        let mut p = Packet::data(
+            PacketId(id),
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0,
+            1460,
+            64,
+            SimTime::ZERO,
+        );
+        p.priority = priority;
+        p
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PortQueue::new(Discipline::Fifo);
+        for i in 0..5 {
+            q.push(pkt(i, 100 - i));
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.bytes(), 5 * 1500);
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().id.0, i);
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn pfabric_pops_highest_priority_first() {
+        let mut q = PortQueue::new(Discipline::Pfabric);
+        q.push(pkt(0, 50));
+        q.push(pkt(1, 10)); // Smallest remaining size: highest priority.
+        q.push(pkt(2, 99));
+        assert_eq!(q.pop().unwrap().id.0, 1);
+        assert_eq!(q.pop().unwrap().id.0, 0);
+        assert_eq!(q.pop().unwrap().id.0, 2);
+    }
+
+    #[test]
+    fn pfabric_ties_stay_fifo() {
+        let mut q = PortQueue::new(Discipline::Pfabric);
+        q.push(pkt(0, 10));
+        q.push(pkt(1, 10));
+        q.push(pkt(2, 10));
+        assert_eq!(q.pop().unwrap().id.0, 0);
+        assert_eq!(q.pop().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn displacement_target_is_worst_newest() {
+        let mut q = PortQueue::new(Discipline::Pfabric);
+        q.push(pkt(0, 50));
+        q.push(pkt(1, 99));
+        q.push(pkt(2, 99));
+        q.push(pkt(3, 10));
+        let worst = q.lowest_priority_index().unwrap();
+        let removed = q.remove(worst);
+        assert_eq!(removed.id.0, 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_through_remove() {
+        let mut q = PortQueue::new(Discipline::Fifo);
+        q.push(pkt(0, 1));
+        q.push(pkt(1, 2));
+        let before = q.bytes();
+        q.remove(0);
+        assert_eq!(q.bytes(), before - 1500);
+        q.clear();
+        assert_eq!(q.bytes(), 0);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,630 @@
+//! The switch data path: admission, ECN marking, DIBS detouring, service.
+//!
+//! A [`SwitchCore`] owns one [`PortQueue`] per port plus a
+//! [`BufferManager`]. It is deliberately time-free: the simulator core
+//! decides *when* ports transmit; the switch decides *where* packets go and
+//! whether they are marked, detoured, or dropped.
+
+use crate::buffer::{BufferConfig, BufferManager};
+use crate::dibs::DibsPolicy;
+use crate::queue::{Discipline, PortQueue};
+use dibs_engine::rng::SimRng;
+use dibs_net::packet::Packet;
+use dibs_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchConfig {
+    /// Buffer organization and size.
+    pub buffer: BufferConfig,
+    /// ECN marking threshold in packets (`None` disables marking). The
+    /// paper's default is 20 packets on 100-packet buffers.
+    pub ecn_threshold: Option<usize>,
+    /// The DIBS detour policy (`Disabled` = droptail baseline).
+    pub dibs: DibsPolicy,
+    /// Queue service discipline.
+    pub discipline: Discipline,
+    /// Whether detoured packets are also CE-marked (§5.3: they are).
+    pub mark_detoured: bool,
+}
+
+impl SwitchConfig {
+    /// Table 1 defaults with DIBS disabled (the DCTCP baseline).
+    pub fn dctcp_baseline() -> Self {
+        SwitchConfig {
+            buffer: BufferConfig::paper_default(),
+            ecn_threshold: Some(20),
+            dibs: DibsPolicy::Disabled,
+            discipline: Discipline::Fifo,
+            mark_detoured: true,
+        }
+    }
+
+    /// Table 1 defaults with random DIBS detouring enabled.
+    pub fn dctcp_dibs() -> Self {
+        SwitchConfig {
+            dibs: DibsPolicy::Random,
+            ..Self::dctcp_baseline()
+        }
+    }
+
+    /// The pFabric switch of §5.8: 24-packet priority queues, no ECN, no
+    /// DIBS.
+    pub fn pfabric() -> Self {
+        SwitchConfig {
+            buffer: BufferConfig::StaticPerPort { packets: 24 },
+            ecn_threshold: None,
+            dibs: DibsPolicy::Disabled,
+            discipline: Discipline::Pfabric,
+            mark_detoured: false,
+        }
+    }
+}
+
+/// Why a packet was dropped at a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Desired queue full and no eligible detour port (or DIBS disabled).
+    BufferFull,
+    /// Displaced from a pFabric queue by a higher-priority arrival.
+    PriorityDisplaced,
+    /// TTL expired (counted by the simulator core, which owns TTL).
+    TtlExpired,
+}
+
+/// Result of offering a packet to the switch.
+#[derive(Debug)]
+pub enum EnqueueOutcome {
+    /// Queued on its desired port.
+    Enqueued {
+        /// The port the packet was queued on.
+        port: usize,
+    },
+    /// Queued on a detour port instead of the (full) desired port.
+    Detoured {
+        /// The detour port chosen by the DIBS policy.
+        port: usize,
+    },
+    /// Dropped.
+    Dropped(DropReason),
+}
+
+/// `EnqueueOutcome` plus any packet displaced to make room (pFabric only).
+#[derive(Debug)]
+pub struct EnqueueResult {
+    /// What happened to the offered packet.
+    pub outcome: EnqueueOutcome,
+    /// A resident packet evicted by pFabric priority displacement, if any.
+    pub displaced: Option<Packet>,
+}
+
+/// Event counters, cheap enough to keep always-on.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SwitchCounters {
+    /// Packets accepted onto their desired port.
+    pub enqueued: u64,
+    /// Packets accepted onto a detour port.
+    pub detoured: u64,
+    /// Packets CE-marked at enqueue.
+    pub marked: u64,
+    /// Drops because the buffer was full (and DIBS could not help).
+    pub dropped_full: u64,
+    /// pFabric priority displacements.
+    pub displaced: u64,
+    /// Packets handed to the wire.
+    pub dequeued: u64,
+}
+
+/// One switch's queues, buffer accounting, and forwarding decisions.
+pub struct SwitchCore {
+    node: NodeId,
+    config: SwitchConfig,
+    queues: Vec<PortQueue>,
+    buffer: BufferManager,
+    /// `host_facing[p]` — whether port `p` connects to an end host.
+    host_facing: Vec<bool>,
+    counters: SwitchCounters,
+    /// Scratch buffer for the eligible-port list (avoids per-packet allocs).
+    scratch: Vec<usize>,
+}
+
+impl SwitchCore {
+    /// Creates a switch with `host_facing.len()` ports.
+    pub fn new(node: NodeId, config: SwitchConfig, host_facing: Vec<bool>) -> Self {
+        let n = host_facing.len();
+        SwitchCore {
+            node,
+            config,
+            queues: (0..n).map(|_| PortQueue::new(config.discipline)).collect(),
+            buffer: BufferManager::new(config.buffer),
+            host_facing,
+            counters: SwitchCounters::default(),
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// The topology node this switch implements.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Packets queued on a port.
+    pub fn queue_len(&self, port: usize) -> usize {
+        self.queues[port].len()
+    }
+
+    /// Bytes queued on a port.
+    pub fn queue_bytes(&self, port: usize) -> u64 {
+        self.queues[port].bytes()
+    }
+
+    /// Buffer occupancy of a port in `[0, 1]`.
+    pub fn occupancy(&self, port: usize) -> f64 {
+        self.buffer.occupancy(&self.queues[port])
+    }
+
+    /// Whether port `p` faces an end host.
+    pub fn is_host_facing(&self, port: usize) -> bool {
+        self.host_facing[port]
+    }
+
+    /// Total packets buffered across all ports.
+    pub fn total_buffered(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Fraction of the switch's total buffer currently free, in `[0, 1]`.
+    ///
+    /// This is the quantity behind Fig 5 (spare capacity near hotspots).
+    pub fn free_fraction(&self) -> f64 {
+        match self.config.buffer {
+            BufferConfig::Infinite => 1.0,
+            BufferConfig::StaticPerPort { packets } => {
+                let cap = packets * self.queues.len();
+                if cap == 0 {
+                    0.0
+                } else {
+                    1.0 - (self.total_buffered() as f64 / cap as f64).min(1.0)
+                }
+            }
+            BufferConfig::DynamicShared { total_bytes, .. } => {
+                if total_bytes == 0 {
+                    0.0
+                } else {
+                    1.0 - (self.buffer.shared_used() as f64 / total_bytes as f64).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> SwitchCounters {
+        self.counters
+    }
+
+    /// Offers `pkt` to the switch for transmission out of `desired_port`.
+    ///
+    /// Implements the full §2/§4 data path: ECN threshold marking, DIBS
+    /// detouring on overflow, pFabric priority displacement.
+    pub fn enqueue(&mut self, pkt: Packet, desired_port: usize, rng: &mut SimRng) -> EnqueueResult {
+        debug_assert!(desired_port < self.queues.len());
+        let fits = self
+            .buffer
+            .admits(&self.queues[desired_port], pkt.wire_bytes);
+
+        if fits {
+            // Probabilistic DIBS may detour even with room available.
+            let p_early = self
+                .config
+                .dibs
+                .early_detour_probability(self.occupancy(desired_port));
+            if p_early > 0.0 && rng.chance(p_early) {
+                if let Some(port) = self.pick_detour(&pkt, desired_port, rng) {
+                    return self.admit_detour(pkt, port);
+                }
+            }
+            return self.admit(pkt, desired_port);
+        }
+
+        // Desired queue full.
+        if self.config.discipline == Discipline::Pfabric {
+            return self.pfabric_displace(pkt, desired_port);
+        }
+        match self.pick_detour(&pkt, desired_port, rng) {
+            Some(port) => self.admit_detour(pkt, port),
+            None => {
+                self.counters.dropped_full += 1;
+                EnqueueResult {
+                    outcome: EnqueueOutcome::Dropped(DropReason::BufferFull),
+                    displaced: None,
+                }
+            }
+        }
+    }
+
+    /// Removes the next packet to transmit from `port`.
+    pub fn dequeue(&mut self, port: usize) -> Option<Packet> {
+        let pkt = self.queues[port].pop()?;
+        self.buffer.on_dequeue(pkt.wire_bytes);
+        self.counters.dequeued += 1;
+        Some(pkt)
+    }
+
+    fn admit(&mut self, mut pkt: Packet, port: usize) -> EnqueueResult {
+        self.maybe_mark(&mut pkt, port, false);
+        self.buffer.on_enqueue(pkt.wire_bytes);
+        self.queues[port].push(pkt);
+        self.counters.enqueued += 1;
+        EnqueueResult {
+            outcome: EnqueueOutcome::Enqueued { port },
+            displaced: None,
+        }
+    }
+
+    fn admit_detour(&mut self, mut pkt: Packet, port: usize) -> EnqueueResult {
+        pkt.detours += 1;
+        self.maybe_mark(&mut pkt, port, true);
+        self.buffer.on_enqueue(pkt.wire_bytes);
+        self.queues[port].push(pkt);
+        self.counters.detoured += 1;
+        EnqueueResult {
+            outcome: EnqueueOutcome::Detoured { port },
+            displaced: None,
+        }
+    }
+
+    fn maybe_mark(&mut self, pkt: &mut Packet, port: usize, detoured: bool) {
+        if !pkt.is_data() {
+            // DCTCP marks data packets; acks are not marked.
+            return;
+        }
+        let over_threshold = self
+            .config
+            .ecn_threshold
+            .is_some_and(|k| self.queues[port].len() >= k);
+        if over_threshold || (detoured && self.config.mark_detoured) {
+            if !pkt.ce {
+                self.counters.marked += 1;
+            }
+            pkt.mark_ce();
+        }
+    }
+
+    fn pick_detour(
+        &mut self,
+        pkt: &Packet,
+        desired_port: usize,
+        rng: &mut SimRng,
+    ) -> Option<usize> {
+        if !self.config.dibs.is_enabled() {
+            return None;
+        }
+        // Eligible: switch-facing, not the desired port, with buffer room.
+        self.scratch.clear();
+        for p in 0..self.queues.len() {
+            if p != desired_port
+                && !self.host_facing[p]
+                && self.buffer.admits(&self.queues[p], pkt.wire_bytes)
+            {
+                self.scratch.push(p);
+            }
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        let choice = self.config.dibs.choose(
+            pkt,
+            self.node,
+            &scratch,
+            |p| self.buffer.occupancy(&self.queues[p]),
+            rng,
+        );
+        self.scratch = scratch;
+        choice
+    }
+
+    fn pfabric_displace(&mut self, pkt: Packet, port: usize) -> EnqueueResult {
+        // pFabric (§5.8): on overflow, drop the lowest-priority resident if
+        // the arrival beats it; otherwise drop the arrival.
+        let q = &mut self.queues[port];
+        let Some(worst_idx) = q.lowest_priority_index() else {
+            // Queue capacity zero: nothing to displace.
+            self.counters.dropped_full += 1;
+            return EnqueueResult {
+                outcome: EnqueueOutcome::Dropped(DropReason::BufferFull),
+                displaced: None,
+            };
+        };
+        let worst_priority = q.iter().nth(worst_idx).expect("index valid").priority;
+        if pkt.priority < worst_priority {
+            let displaced = q.remove(worst_idx);
+            self.buffer.on_dequeue(displaced.wire_bytes);
+            self.buffer.on_enqueue(pkt.wire_bytes);
+            self.queues[port].push(pkt);
+            self.counters.displaced += 1;
+            self.counters.enqueued += 1;
+            EnqueueResult {
+                outcome: EnqueueOutcome::Enqueued { port },
+                displaced: Some(displaced),
+            }
+        } else {
+            self.counters.dropped_full += 1;
+            EnqueueResult {
+                outcome: EnqueueOutcome::Dropped(DropReason::PriorityDisplaced),
+                displaced: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibs_engine::time::SimTime;
+    use dibs_net::ids::{FlowId, HostId, PacketId};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(
+            PacketId(id),
+            FlowId(id as u32),
+            HostId(0),
+            HostId(1),
+            0,
+            1460,
+            64,
+            SimTime::ZERO,
+        )
+    }
+
+    fn tiny_switch(dibs: DibsPolicy, per_port: usize) -> SwitchCore {
+        // 4 ports: 0 faces a host, 1-3 face switches.
+        SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::StaticPerPort { packets: per_port },
+                ecn_threshold: Some(2),
+                dibs,
+                discipline: Discipline::Fifo,
+                mark_detoured: true,
+            },
+            vec![true, false, false, false],
+        )
+    }
+
+    #[test]
+    fn basic_enqueue_dequeue() {
+        let mut sw = tiny_switch(DibsPolicy::Disabled, 10);
+        let mut rng = SimRng::new(1);
+        let r = sw.enqueue(pkt(1), 1, &mut rng);
+        assert!(matches!(r.outcome, EnqueueOutcome::Enqueued { port: 1 }));
+        assert_eq!(sw.queue_len(1), 1);
+        let out = sw.dequeue(1).unwrap();
+        assert_eq!(out.id.0, 1);
+        assert_eq!(sw.counters().dequeued, 1);
+        assert!(sw.dequeue(1).is_none());
+    }
+
+    #[test]
+    fn droptail_drops_on_overflow_without_dibs() {
+        let mut sw = tiny_switch(DibsPolicy::Disabled, 2);
+        let mut rng = SimRng::new(1);
+        sw.enqueue(pkt(1), 0, &mut rng);
+        sw.enqueue(pkt(2), 0, &mut rng);
+        let r = sw.enqueue(pkt(3), 0, &mut rng);
+        assert!(matches!(
+            r.outcome,
+            EnqueueOutcome::Dropped(DropReason::BufferFull)
+        ));
+        assert_eq!(sw.counters().dropped_full, 1);
+    }
+
+    #[test]
+    fn dibs_detours_instead_of_dropping() {
+        let mut sw = tiny_switch(DibsPolicy::Random, 2);
+        let mut rng = SimRng::new(1);
+        sw.enqueue(pkt(1), 0, &mut rng);
+        sw.enqueue(pkt(2), 0, &mut rng);
+        let r = sw.enqueue(pkt(3), 0, &mut rng);
+        match r.outcome {
+            EnqueueOutcome::Detoured { port } => {
+                assert!((1..=3).contains(&port), "must detour to a switch port");
+            }
+            other => panic!("expected detour, got {other:?}"),
+        }
+        assert_eq!(sw.counters().detoured, 1);
+        assert_eq!(sw.counters().dropped_full, 0);
+        // The detoured packet carries the detour count and a CE mark.
+        let port = (1..=3).find(|&p| sw.queue_len(p) == 1).unwrap();
+        let d = sw.dequeue(port).unwrap();
+        assert_eq!(d.detours, 1);
+        assert!(d.ce, "detoured packets are marked (§5.3)");
+    }
+
+    #[test]
+    fn dibs_never_detours_to_host_ports() {
+        let mut sw = tiny_switch(DibsPolicy::Random, 1);
+        let mut rng = SimRng::new(2);
+        // Fill ports 1-3 (switch-facing) and then overflow port 1: the only
+        // port with room is 0, which faces a host, so the packet must drop.
+        for p in 1..=3 {
+            sw.enqueue(pkt(p as u64), p, &mut rng);
+        }
+        let r = sw.enqueue(pkt(9), 1, &mut rng);
+        assert!(matches!(
+            r.outcome,
+            EnqueueOutcome::Dropped(DropReason::BufferFull)
+        ));
+        assert_eq!(sw.queue_len(0), 0);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut sw = tiny_switch(DibsPolicy::Disabled, 10);
+        let mut rng = SimRng::new(1);
+        // Threshold is 2: the first two packets are unmarked, later ones marked.
+        for i in 0..5 {
+            sw.enqueue(pkt(i), 1, &mut rng);
+        }
+        let marks: Vec<bool> = (0..5).map(|_| sw.dequeue(1).unwrap().ce).collect();
+        assert_eq!(marks, vec![false, false, true, true, true]);
+        assert_eq!(sw.counters().marked, 3);
+    }
+
+    #[test]
+    fn acks_are_not_marked() {
+        let mut sw = tiny_switch(DibsPolicy::Disabled, 10);
+        let mut rng = SimRng::new(1);
+        for i in 0..4 {
+            sw.enqueue(pkt(i), 1, &mut rng);
+        }
+        let ack = Packet::ack(
+            PacketId(99),
+            FlowId(0),
+            HostId(1),
+            HostId(0),
+            0,
+            false,
+            64,
+            SimTime::ZERO,
+        );
+        sw.enqueue(ack, 1, &mut rng);
+        for _ in 0..4 {
+            sw.dequeue(1);
+        }
+        assert!(!sw.dequeue(1).unwrap().ce);
+    }
+
+    #[test]
+    fn pfabric_displaces_lower_priority() {
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::StaticPerPort { packets: 2 },
+                ..SwitchConfig::pfabric()
+            },
+            vec![false, false],
+        );
+        let mut rng = SimRng::new(1);
+        let mut lo1 = pkt(1);
+        lo1.priority = 100;
+        let mut lo2 = pkt(2);
+        lo2.priority = 90;
+        let mut hi = pkt(3);
+        hi.priority = 5;
+        sw.enqueue(lo1, 0, &mut rng);
+        sw.enqueue(lo2, 0, &mut rng);
+        let r = sw.enqueue(hi, 0, &mut rng);
+        assert!(matches!(r.outcome, EnqueueOutcome::Enqueued { port: 0 }));
+        let displaced = r.displaced.expect("one packet displaced");
+        assert_eq!(displaced.id.0, 1, "worst priority (100) goes");
+        // And the queue serves highest priority first.
+        assert_eq!(sw.dequeue(0).unwrap().id.0, 3);
+        assert_eq!(sw.counters().displaced, 1);
+    }
+
+    #[test]
+    fn pfabric_drops_arrival_when_it_is_worst() {
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::StaticPerPort { packets: 1 },
+                ..SwitchConfig::pfabric()
+            },
+            vec![false],
+        );
+        let mut rng = SimRng::new(1);
+        let mut hi = pkt(1);
+        hi.priority = 5;
+        let mut lo = pkt(2);
+        lo.priority = 100;
+        sw.enqueue(hi, 0, &mut rng);
+        let r = sw.enqueue(lo, 0, &mut rng);
+        assert!(matches!(
+            r.outcome,
+            EnqueueOutcome::Dropped(DropReason::PriorityDisplaced)
+        ));
+        assert!(r.displaced.is_none());
+    }
+
+    #[test]
+    fn shared_buffer_lets_hot_port_borrow() {
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::DynamicShared {
+                    total_bytes: 20 * 1500,
+                    alpha: 1.0,
+                    per_port_reserve_bytes: 0,
+                },
+                ecn_threshold: None,
+                dibs: DibsPolicy::Disabled,
+                discipline: Discipline::Fifo,
+                mark_detoured: false,
+            },
+            vec![false, false, false, false],
+        );
+        let mut rng = SimRng::new(1);
+        // A single hot port can hold far more than total/ports = 5 packets.
+        let mut admitted = 0;
+        while let EnqueueOutcome::Enqueued { .. } =
+            sw.enqueue(pkt(admitted as u64), 0, &mut rng).outcome
+        {
+            admitted += 1;
+        }
+        // With alpha = 1 a lone hot queue stabilizes at half the pool,
+        // double its static fair share of total/ports = 5 packets.
+        assert_eq!(admitted, 10, "dynamic threshold should allow borrowing");
+        assert!((sw.free_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_fraction_tracks_occupancy() {
+        let mut sw = tiny_switch(DibsPolicy::Disabled, 10);
+        let mut rng = SimRng::new(1);
+        assert_eq!(sw.free_fraction(), 1.0);
+        for i in 0..20 {
+            sw.enqueue(pkt(i), 1, &mut rng);
+        }
+        // 10 admitted (limit), 10 dropped; 10 of 40 slots used.
+        assert_eq!(sw.total_buffered(), 10);
+        assert!((sw.free_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_policy_detours_early() {
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::StaticPerPort { packets: 10 },
+                ecn_threshold: None,
+                dibs: DibsPolicy::Probabilistic { onset: 0.0 },
+                discipline: Discipline::Fifo,
+                mark_detoured: false,
+            },
+            vec![false, false],
+        );
+        let mut rng = SimRng::new(3);
+        // Occupancy ramps from 0; with onset 0 any nonzero occupancy can
+        // trigger early detours well before the queue is full.
+        let mut detoured = 0;
+        for i in 0..9 {
+            if matches!(
+                sw.enqueue(pkt(i), 0, &mut rng).outcome,
+                EnqueueOutcome::Detoured { .. }
+            ) {
+                detoured += 1;
+            }
+        }
+        assert!(detoured > 0, "expected early detours before overflow");
+        assert!(sw.queue_len(0) < 9);
+    }
+}

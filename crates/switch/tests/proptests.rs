@@ -1,0 +1,228 @@
+//! Property-based tests for the switch data path: buffer accounting,
+//! detour eligibility, and pFabric priority behavior under random operation
+//! sequences.
+
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::SimTime;
+use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
+use dibs_net::packet::Packet;
+use dibs_switch::{
+    BufferConfig, DibsPolicy, Discipline, DropReason, EnqueueOutcome, SwitchConfig, SwitchCore,
+};
+use proptest::prelude::*;
+
+fn pkt(id: u64, flow: u32, priority: u64) -> Packet {
+    let mut p = Packet::data(
+        PacketId(id),
+        FlowId(flow),
+        HostId(0),
+        HostId(1),
+        0,
+        1460,
+        64,
+        SimTime::ZERO,
+    );
+    p.priority = priority;
+    p
+}
+
+/// One random operation against the switch.
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue {
+        port: usize,
+        flow: u32,
+        priority: u64,
+    },
+    Dequeue {
+        port: usize,
+    },
+}
+
+fn arb_ops(ports: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..ports, any::<u32>(), 1u64..1_000_000).prop_map(|(port, flow, priority)| {
+                Op::Enqueue {
+                    port,
+                    flow,
+                    priority,
+                }
+            }),
+            (0..ports).prop_map(|port| Op::Dequeue { port }),
+        ],
+        1..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static per-port buffers: queue lengths never exceed the limit, every
+    /// packet is enqueued / detoured / dropped exactly once, and dequeues
+    /// return packets previously admitted.
+    #[test]
+    fn static_buffer_invariants(
+        ops in arb_ops(6, 300),
+        limit in 1usize..8,
+        dibs_on in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = SwitchConfig {
+            buffer: BufferConfig::StaticPerPort { packets: limit },
+            ecn_threshold: Some(2),
+            dibs: if dibs_on { DibsPolicy::Random } else { DibsPolicy::Disabled },
+            discipline: Discipline::Fifo,
+            mark_detoured: true,
+        };
+        // Port 0 faces a host.
+        let mut sw = SwitchCore::new(NodeId(0), cfg, vec![true, false, false, false, false, false]);
+        let mut rng = SimRng::new(seed);
+        let mut resident = 0usize;
+        let mut id = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Enqueue { port, flow, priority } => {
+                    id += 1;
+                    match sw.enqueue(pkt(id, flow, priority), port, &mut rng).outcome {
+                        EnqueueOutcome::Enqueued { port: p } => {
+                            prop_assert_eq!(p, port);
+                            resident += 1;
+                        }
+                        EnqueueOutcome::Detoured { port: p } => {
+                            prop_assert!(dibs_on, "detour with DIBS disabled");
+                            prop_assert_ne!(p, port);
+                            prop_assert!(!sw.is_host_facing(p), "detoured to a host port");
+                            resident += 1;
+                        }
+                        EnqueueOutcome::Dropped(DropReason::BufferFull) => {}
+                        EnqueueOutcome::Dropped(r) => {
+                            prop_assert!(false, "unexpected drop reason {r:?}");
+                        }
+                    }
+                }
+                Op::Dequeue { port } => {
+                    if sw.dequeue(port).is_some() {
+                        resident -= 1;
+                    }
+                }
+            }
+            for p in 0..sw.num_ports() {
+                prop_assert!(sw.queue_len(p) <= limit, "port {p} over limit");
+            }
+            prop_assert_eq!(sw.total_buffered(), resident);
+        }
+        // Counter bookkeeping balances.
+        let c = sw.counters();
+        prop_assert_eq!(c.enqueued + c.detoured, (resident + c.dequeued as usize) as u64);
+    }
+
+    /// Shared (DBA) buffers: total admitted bytes never exceed the pool, and
+    /// draining releases memory monotonically.
+    #[test]
+    fn dba_pool_never_overflows(ops in arb_ops(4, 300), seed in any::<u64>()) {
+        let total_bytes = 20 * 1500u64;
+        let cfg = SwitchConfig {
+            buffer: BufferConfig::DynamicShared {
+                total_bytes,
+                alpha: 1.0,
+                per_port_reserve_bytes: 1500,
+            },
+            ecn_threshold: None,
+            dibs: DibsPolicy::Random,
+            discipline: Discipline::Fifo,
+            mark_detoured: false,
+        };
+        let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false; 4]);
+        let mut rng = SimRng::new(seed);
+        let mut id = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Enqueue { port, flow, priority } => {
+                    id += 1;
+                    sw.enqueue(pkt(id, flow, priority), port, &mut rng);
+                }
+                Op::Dequeue { port } => {
+                    sw.dequeue(port);
+                }
+            }
+            let buffered_bytes: u64 = (0..sw.num_ports()).map(|p| sw.queue_bytes(p)).sum();
+            prop_assert!(buffered_bytes <= total_bytes, "pool overflow: {buffered_bytes}");
+            prop_assert!((0.0..=1.0).contains(&sw.free_fraction()));
+        }
+    }
+
+    /// pFabric: a queue never holds a packet with worse priority than one it
+    /// displaced, and dequeue order is nondecreasing priority among packets
+    /// present at the same time.
+    #[test]
+    fn pfabric_priority_invariants(
+        priorities in proptest::collection::vec(1u64..1000, 1..60),
+    ) {
+        let cfg = SwitchConfig {
+            buffer: BufferConfig::StaticPerPort { packets: 8 },
+            ..SwitchConfig::pfabric()
+        };
+        let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false]);
+        let mut rng = SimRng::new(1);
+        let mut admitted: Vec<u64> = Vec::new();
+        for (i, &pr) in priorities.iter().enumerate() {
+            let r = sw.enqueue(pkt(i as u64, i as u32, pr), 0, &mut rng);
+            match r.outcome {
+                EnqueueOutcome::Enqueued { .. } => {
+                    admitted.push(pr);
+                    if let Some(d) = r.displaced {
+                        // The displaced packet had the worst priority.
+                        let pos = admitted.iter().position(|&x| x == d.priority).unwrap();
+                        admitted.remove(pos);
+                        prop_assert!(d.priority >= pr);
+                    }
+                }
+                EnqueueOutcome::Dropped(_) => {
+                    prop_assert!(r.displaced.is_none());
+                    // Arrival was no better than the resident worst.
+                    let worst = admitted.iter().max().copied().unwrap_or(u64::MAX);
+                    prop_assert!(pr >= worst);
+                }
+                EnqueueOutcome::Detoured { .. } => prop_assert!(false, "pFabric never detours"),
+            }
+        }
+        // Drain: priorities come out sorted ascending (highest priority = smallest first).
+        let mut out = Vec::new();
+        while let Some(p) = sw.dequeue(0) {
+            out.push(p.priority);
+        }
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&out, &sorted, "pFabric dequeue must follow priority order");
+        // And the set matches what we believed was admitted.
+        let mut adm = admitted.clone();
+        adm.sort_unstable();
+        prop_assert_eq!(adm, sorted);
+    }
+
+    /// ECN marking: with threshold K, exactly the packets that found >= K
+    /// packets already queued get marked (FIFO, single port, no DIBS).
+    #[test]
+    fn ecn_marks_match_threshold(n in 1usize..40, k in 1usize..20) {
+        let cfg = SwitchConfig {
+            buffer: BufferConfig::StaticPerPort { packets: 100 },
+            ecn_threshold: Some(k),
+            dibs: DibsPolicy::Disabled,
+            discipline: Discipline::Fifo,
+            mark_detoured: false,
+        };
+        let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false]);
+        let mut rng = SimRng::new(1);
+        for i in 0..n {
+            sw.enqueue(pkt(i as u64, 0, 1), 0, &mut rng);
+        }
+        let mut marked = 0;
+        while let Some(p) = sw.dequeue(0) {
+            if p.ce {
+                marked += 1;
+            }
+        }
+        prop_assert_eq!(marked, n.saturating_sub(k));
+    }
+}

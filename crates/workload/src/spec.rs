@@ -1,0 +1,92 @@
+//! Flow and query descriptors shared by all generators.
+
+use dibs_engine::time::SimTime;
+use dibs_net::ids::HostId;
+
+/// What role a flow plays in the experiment (drives which metric it feeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// DCTCP-paper background traffic.
+    Background,
+    /// One response of a partition-aggregate query; the payload indexes the
+    /// query it belongs to.
+    QueryResponse {
+        /// Index into the experiment's query list.
+        query: usize,
+    },
+    /// Long-lived throughput flow (fairness experiment, §5.6).
+    LongLived,
+}
+
+/// One unidirectional transfer to be simulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// When the sender opens the flow.
+    pub start: SimTime,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Bytes to transfer.
+    pub size: u64,
+    /// Experiment role.
+    pub class: FlowClass,
+}
+
+/// One partition-aggregate query: `degree` responders each send
+/// `response_bytes` to `target` at `start` (§5.3: "each query consists of a
+/// single incast target that receives flows from a set of responding nodes,
+/// all selected at random").
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Query issue time (responses start simultaneously).
+    pub start: SimTime,
+    /// The aggregator receiving all responses.
+    pub target: HostId,
+    /// The responding hosts (distinct, never the target).
+    pub responders: Vec<HostId>,
+    /// Bytes per response.
+    pub response_bytes: u64,
+}
+
+impl QuerySpec {
+    /// Expands the query into its response flows.
+    pub fn response_flows(&self, query_index: usize) -> impl Iterator<Item = FlowSpec> + '_ {
+        self.responders.iter().map(move |&src| FlowSpec {
+            start: self.start,
+            src,
+            dst: self.target,
+            size: self.response_bytes,
+            class: FlowClass::QueryResponse { query: query_index },
+        })
+    }
+
+    /// Total bytes the query moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.response_bytes * self.responders.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_expansion() {
+        let q = QuerySpec {
+            start: SimTime::from_millis(5),
+            target: HostId(0),
+            responders: vec![HostId(1), HostId(2), HostId(3)],
+            response_bytes: 20_000,
+        };
+        let flows: Vec<FlowSpec> = q.response_flows(7).collect();
+        assert_eq!(flows.len(), 3);
+        assert!(flows
+            .iter()
+            .all(|f| f.dst == HostId(0) && f.size == 20_000 && f.start == q.start));
+        assert!(flows
+            .iter()
+            .all(|f| f.class == FlowClass::QueryResponse { query: 7 }));
+        assert_eq!(q.total_bytes(), 60_000);
+    }
+}

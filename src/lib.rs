@@ -1,0 +1,14 @@
+//! Workspace-level umbrella crate for the DIBS reproduction.
+//!
+//! This crate exists to host the repository's runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). The actual
+//! functionality lives in the member crates; the most useful entry point for
+//! downstream users is the [`dibs`] crate.
+
+pub use dibs;
+pub use dibs_engine;
+pub use dibs_net;
+pub use dibs_stats;
+pub use dibs_switch;
+pub use dibs_transport;
+pub use dibs_workload;

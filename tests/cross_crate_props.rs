@@ -1,0 +1,152 @@
+//! Property-based cross-crate tests: random small topologies and traffic
+//! must satisfy the simulator's global invariants.
+
+use dibs::{SimConfig, Simulation};
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::SimTime;
+use dibs_net::builders::{
+    dumbbell, fat_tree, jellyfish, single_switch, FatTreeParams, JellyfishParams,
+};
+use dibs_net::ids::HostId;
+use dibs_net::topology::{LinkSpec, Topology};
+use dibs_switch::DibsPolicy;
+use dibs_workload::{FlowClass, FlowSpec};
+use proptest::prelude::*;
+
+/// A small random topology drawn from the generator family.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (4usize..10).prop_map(|n| single_switch(n, LinkSpec::gbit(1))),
+        Just(fat_tree(FatTreeParams {
+            k: 4,
+            ..FatTreeParams::paper_default()
+        })),
+        (2usize..5, 2usize..5).prop_map(|(l, r)| dumbbell(
+            l,
+            r,
+            LinkSpec::gbit(1),
+            LinkSpec::gbit(5)
+        )),
+        (0u64..1000).prop_map(|seed| {
+            let mut rng = SimRng::new(seed);
+            jellyfish(
+                JellyfishParams {
+                    switches: 8,
+                    degree: 3,
+                    hosts_per_switch: 2,
+                    host_link: LinkSpec::gbit(1),
+                    fabric_link: LinkSpec::gbit(1),
+                },
+                &mut rng,
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: every completed flow delivered exactly its size; no
+    /// flow over-delivers; and with DIBS enabled on these mild workloads
+    /// drops stay at zero while flows all complete.
+    #[test]
+    fn flows_conserve_bytes(
+        topo in arb_topology(),
+        seed in 0u64..10_000,
+        n_flows in 1usize..12,
+        size in 1u64..200_000,
+    ) {
+        let hosts = topo.num_hosts();
+        prop_assume!(hosts >= 2);
+        let mut cfg = SimConfig::dctcp_dibs().with_seed(seed);
+        cfg.horizon = SimTime::from_secs(4);
+        let mut sim = Simulation::new(topo, cfg);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..n_flows {
+            let src = rng.below(hosts);
+            let mut dst = rng.below(hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            sim.add_flows([FlowSpec {
+                start: SimTime::from_micros(rng.range_u64(0, 3000)),
+                src: HostId::from_index(src),
+                dst: HostId::from_index(dst),
+                size,
+                class: FlowClass::Background,
+            }]);
+        }
+        let results = sim.run();
+        for f in &results.flows {
+            prop_assert!(f.bytes_delivered <= f.size, "over-delivery");
+            prop_assert!(f.fct.is_some(), "flow did not complete");
+            prop_assert_eq!(f.bytes_delivered, f.size);
+        }
+        // Histogram mass equals delivered packet count.
+        let hist: u64 = results.detour_histogram.iter().sum();
+        prop_assert_eq!(hist, results.counters.packets_delivered);
+    }
+
+    /// Determinism across policies: running twice with the same seed gives
+    /// identical event counts and counters, for every detour policy.
+    #[test]
+    fn determinism_for_every_policy(
+        seed in 0u64..1000,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            DibsPolicy::Disabled,
+            DibsPolicy::Random,
+            DibsPolicy::LoadAware,
+            DibsPolicy::FlowBased,
+        ][policy_idx];
+        let run = || {
+            let topo = single_switch(6, LinkSpec::gbit(1));
+            let mut cfg = SimConfig::dctcp_dibs().with_policy(policy).with_seed(seed);
+            cfg.horizon = SimTime::from_secs(2);
+            let mut sim = Simulation::new(topo, cfg);
+            for i in 1..6u32 {
+                sim.add_flows([FlowSpec {
+                    start: SimTime::ZERO,
+                    src: HostId(i),
+                    dst: HostId(0),
+                    size: 150_000,
+                    class: FlowClass::Background,
+                }]);
+            }
+            let r = sim.run();
+            (r.events_dispatched, r.counters)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Packet-level sanity under congestion: sent >= delivered, and the
+    /// difference is fully explained by drops plus packets still in flight
+    /// at the horizon (zero here, since flows complete).
+    #[test]
+    fn packet_accounting_balances(seed in 0u64..1000) {
+        let topo = single_switch(8, LinkSpec::gbit(1));
+        let mut cfg = SimConfig::dctcp_baseline().with_seed(seed);
+        cfg.horizon = SimTime::from_secs(4);
+        let mut sim = Simulation::new(topo, cfg);
+        for i in 1..8u32 {
+            sim.add_flows([FlowSpec {
+                start: SimTime::ZERO,
+                src: HostId(i),
+                dst: HostId(0),
+                size: 100_000,
+                class: FlowClass::Background,
+            }]);
+        }
+        let r = sim.run();
+        prop_assert!(r.flows.iter().all(|f| f.fct.is_some()));
+        prop_assert_eq!(
+            r.counters.packets_sent,
+            r.counters.packets_delivered + r.counters.total_drops(),
+            "sent = delivered + dropped once the network drains"
+        );
+    }
+}

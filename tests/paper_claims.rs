@@ -1,0 +1,148 @@
+//! Cross-crate integration tests pinning the paper's *quantitative claims*
+//! (at small, debug-friendly scale). These are the "shape" checks: who
+//! wins, roughly by how much, and where the collateral damage lands.
+
+use dibs::presets::{mixed_workload_sim, MixedWorkload};
+use dibs::SimConfig;
+use dibs_engine::time::SimDuration;
+use dibs_net::builders::FatTreeParams;
+
+fn small_mixed(qps: f64) -> MixedWorkload {
+    MixedWorkload {
+        qps,
+        duration: SimDuration::from_millis(120),
+        drain: SimDuration::from_millis(400),
+        ..MixedWorkload::paper_default()
+    }
+}
+
+fn k8() -> FatTreeParams {
+    FatTreeParams::paper_default()
+}
+
+/// §1/abstract: DIBS reduces the 99th percentile of query completion time
+/// substantially (the paper reports up to 85% under heavy congestion).
+#[test]
+fn dibs_reduces_tail_qct() {
+    let wl = small_mixed(1000.0);
+    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
+    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let qb = base.qct_p99_ms().unwrap();
+    let qd = dibs.qct_p99_ms().unwrap();
+    assert!(
+        qd < 0.7 * qb,
+        "DIBS p99 QCT {qd:.1} ms should be well under DCTCP's {qb:.1} ms"
+    );
+    assert_eq!(dibs.counters.total_drops(), 0, "DIBS is near-lossless here");
+    assert!(base.counters.total_drops() > 0);
+}
+
+/// §5.4.1: on average DIBS detours under 20 % of packets, over 90 % of
+/// detoured packets belong to query traffic, and ~1 % of background
+/// packets get detoured.
+#[test]
+fn collateral_damage_is_limited() {
+    let wl = small_mixed(1000.0);
+    let dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let frac = dibs.counters.detoured_fraction();
+    assert!(
+        frac < 0.20,
+        "detoured fraction {frac:.3} should stay below 20%"
+    );
+    let query_share = dibs.counters.detoured_query_share();
+    assert!(
+        query_share > 0.90,
+        "query share of detours {query_share:.3} should exceed 90%"
+    );
+    let bg_frac = dibs.counters.bg_detoured_fraction();
+    assert!(
+        bg_frac < 0.05,
+        "background detour rate {bg_frac:.4} should be tiny"
+    );
+}
+
+/// §5.4.1: background-flow tail FCT rises by no more than a few
+/// milliseconds under DIBS.
+#[test]
+fn background_fct_damage_is_bounded() {
+    let wl = small_mixed(300.0);
+    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
+    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let fb = base.bg_fct_p99_ms().unwrap();
+    let fd = dibs.bg_fct_p99_ms().unwrap();
+    assert!(
+        fd - fb < 4.0,
+        "BG FCT p99 rose from {fb:.2} to {fd:.2} ms — more than the paper's ~2 ms"
+    );
+}
+
+/// §5.4.4 (burstiness): for the same total response volume, a high incast
+/// degree is harder than large responses — and hurts DCTCP more than DIBS.
+#[test]
+fn high_degree_is_burstier_than_large_responses() {
+    // 2 MB per query either way: 100 x 20 KB vs 40 x 50 KB. The first-RTT
+    // burst is 1 MB vs 400 KB, so the many-senders variant hits the
+    // destination port far harder. 600 qps over a 150 ms window gives
+    // enough queries for a stable 90th percentile at test scale (the full
+    // Fig 10/11 sweeps in dibs-bench report the 99th).
+    let mk = |degree: usize, resp: u64| MixedWorkload {
+        incast_degree: degree,
+        response_bytes: resp,
+        qps: 600.0,
+        duration: SimDuration::from_millis(150),
+        drain: SimDuration::from_millis(400),
+        ..MixedWorkload::paper_default()
+    };
+    let mut base_many =
+        mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), mk(100, 20_000)).run();
+    let mut base_big = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), mk(40, 50_000)).run();
+    let bm = base_many.qct_ms.percentile(0.90).unwrap();
+    let bb = base_big.qct_ms.percentile(0.90).unwrap();
+    assert!(
+        bm > bb,
+        "DCTCP: degree-100 ({bm:.1} ms) should be worse than 50 KB responses ({bb:.1} ms)"
+    );
+    // And DIBS absorbs almost all of even the burstier variant: at this
+    // intensity (600 qps of 1 MB first-RTT bursts) overlapping bursts can
+    // momentarily exhaust every eligible buffer, so require a >100x drop
+    // reduction rather than strictly zero.
+    let dibs_many = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), mk(100, 20_000)).run();
+    assert!(
+        dibs_many.counters.total_drops() * 100 < base_many.counters.total_drops(),
+        "DIBS drops {} vs DCTCP drops {}",
+        dibs_many.counters.total_drops(),
+        base_many.counters.total_drops()
+    );
+}
+
+/// §5.4.2 at high query rates: without DIBS, background flows lose packets
+/// to query bursts; with DIBS they do not.
+#[test]
+fn dibs_protects_background_at_high_qps() {
+    let wl = small_mixed(2000.0);
+    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
+    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    assert!(base.counters.total_drops() > 0);
+    assert_eq!(dibs.counters.total_drops(), 0);
+    let fb = base.bg_fct_p99_ms().unwrap();
+    let fd = dibs.bg_fct_p99_ms().unwrap();
+    assert!(
+        fd <= fb + 1.0,
+        "at 2000 qps DIBS should not be worse for background: {fd:.2} vs {fb:.2} ms"
+    );
+}
+
+/// Every query eventually completes in both configurations at moderate
+/// load, and DIBS never leaves a flow hanging.
+#[test]
+fn all_queries_complete_at_moderate_load() {
+    let wl = small_mixed(500.0);
+    for cfg in [SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()] {
+        let r = mixed_workload_sim(k8(), cfg, wl).run();
+        assert!(
+            r.query_completion_rate() > 0.99,
+            "completion rate {}",
+            r.query_completion_rate()
+        );
+    }
+}
