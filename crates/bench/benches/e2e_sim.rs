@@ -3,14 +3,14 @@
 //! time is "wall seconds per simulated incast" — the practical cost of one
 //! evaluation point.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dibs::presets::testbed_incast_sim;
 use dibs::SimConfig;
+use dibs_bench::timing::Group;
 use dibs_switch::BufferConfig;
+use std::hint::black_box;
 
-fn bench_e2e(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e_testbed_incast");
-    g.sample_size(10);
+fn main() {
+    let g = Group::new("e2e_testbed_incast");
     let mut inf = SimConfig::dctcp_baseline();
     inf.switch.buffer = BufferConfig::Infinite;
     for (name, cfg) in [
@@ -19,12 +19,8 @@ fn bench_e2e(c: &mut Criterion) {
         ("infinite", inf),
         ("pfabric", SimConfig::pfabric()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(testbed_incast_sim(cfg, 5, 10, 32_000).run()))
+        g.case(name, || {
+            black_box(testbed_incast_sim(cfg, 5, 10, 32_000).run())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_e2e);
-criterion_main!(benches);

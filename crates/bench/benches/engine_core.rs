@@ -1,23 +1,24 @@
 //! Microbenchmarks of the simulation substrates: event queue throughput,
 //! FIB construction and lookup, topology building.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use dibs_bench::timing::Group;
 use dibs_engine::queue::EventQueue;
 use dibs_engine::time::SimTime;
 use dibs_net::builders::{fat_tree, FatTreeParams};
 use dibs_net::ids::{FlowId, HostId};
 use dibs_net::routing::Fib;
+use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.bench_function("push_pop_hot", |b| {
+fn bench_event_queue() {
+    let g = Group::new("event_queue");
+    {
         // Steady-state queue of ~1000 events: push one, pop one.
         let mut q = EventQueue::new();
         let mut t = 0u64;
         for i in 0..1000u64 {
             q.push(SimTime::from_nanos(i * 100), i);
         }
-        b.iter(|| {
+        g.case("push_pop_hot", || {
             t += 97;
             let (head, _) = q.pop().expect("nonempty");
             q.push(
@@ -25,47 +26,37 @@ fn bench_event_queue(c: &mut Criterion) {
                 t,
             );
             black_box(head);
-        })
+        });
+    }
+    g.case("fill_drain_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos((i * 2654435761) % 1_000_000), i);
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+        }
     });
-    g.bench_function("fill_drain_10k", |b| {
-        b.iter_batched(
-            EventQueue::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.push(SimTime::from_nanos((i * 2654435761) % 1_000_000), i);
-                }
-                while let Some(e) = q.pop() {
-                    black_box(e);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("routing");
-    g.sample_size(20);
-    g.bench_function("build_fat_tree_k8", |b| {
-        b.iter(|| black_box(fat_tree(FatTreeParams::paper_default())))
+fn bench_routing() {
+    let g = Group::new("routing");
+    g.case("build_fat_tree_k8", || {
+        black_box(fat_tree(FatTreeParams::paper_default()))
     });
     let topo = fat_tree(FatTreeParams::paper_default());
-    g.bench_function("compute_fib_k8", |b| {
-        b.iter(|| black_box(Fib::compute(&topo)))
-    });
+    g.case("compute_fib_k8", || black_box(Fib::compute(&topo)));
     let fib = Fib::compute(&topo);
     let nodes: Vec<_> = topo.switch_nodes().to_vec();
-    g.bench_function("ecmp_select", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let node = nodes[(i as usize) % nodes.len()];
-            black_box(fib.select_port(node, HostId(i % 128), FlowId(i)))
-        })
+    let mut i = 0u32;
+    g.case("ecmp_select", || {
+        i = i.wrapping_add(1);
+        let node = nodes[(i as usize) % nodes.len()];
+        black_box(fib.select_port(node, HostId(i % 128), FlowId(i)))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_routing);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_routing();
+}

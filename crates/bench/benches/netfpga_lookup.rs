@@ -8,18 +8,19 @@
 //! switch enqueue path with DIBS off versus on. The claim reproduced is
 //! that the DIBS decision adds no meaningful latency.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dibs_bench::timing::Group;
 use dibs_engine::rng::SimRng;
 use dibs_engine::time::SimTime;
 use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
 use dibs_net::packet::Packet;
 use dibs_switch::lookup::{decide, PortBitmap};
 use dibs_switch::{DibsPolicy, SwitchConfig, SwitchCore};
+use std::hint::black_box;
 
 fn pkt(i: u64) -> Packet {
     Packet::data(
         PacketId(i),
-        FlowId(i as u32),
+        FlowId(u32::try_from(i & 0x7fff_ffff).expect("masked to 31 bits")),
         HostId(0),
         HostId(1),
         0,
@@ -29,54 +30,47 @@ fn pkt(i: u64) -> Packet {
     )
 }
 
-fn bench_lookup_stage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netfpga_lookup");
+fn bench_lookup_stage() {
+    let g = Group::new("netfpga_lookup");
     // Plain forwarding decision: desired port available.
     let desired = PortBitmap::single(3);
     let all = PortBitmap::from_ports(0..8);
     let eligible = PortBitmap::from_ports(4..8);
-    g.bench_function("forward_hit", |b| {
-        let mut e = 0u64;
-        b.iter(|| {
-            e = e.wrapping_add(0x9E37_79B9);
-            black_box(decide(
-                black_box(desired),
-                black_box(all),
-                black_box(eligible),
-                e,
-            ))
-        })
+    let mut e = 0u64;
+    g.case("forward_hit", || {
+        e = e.wrapping_add(0x9E37_79B9);
+        black_box(decide(
+            black_box(desired),
+            black_box(all),
+            black_box(eligible),
+            e,
+        ))
     });
     // Desired full: the DIBS detour path (the "extra" hardware logic).
     let without_desired = PortBitmap::from_ports([0, 1, 2, 4, 5, 6, 7]);
-    g.bench_function("detour_decision", |b| {
-        let mut e = 0u64;
-        b.iter(|| {
-            e = e.wrapping_add(0x9E37_79B9);
-            black_box(decide(
-                black_box(desired),
-                black_box(without_desired),
-                black_box(eligible),
-                e,
-            ))
-        })
+    let mut e = 0u64;
+    g.case("detour_decision", || {
+        e = e.wrapping_add(0x9E37_79B9);
+        black_box(decide(
+            black_box(desired),
+            black_box(without_desired),
+            black_box(eligible),
+            e,
+        ))
     });
     // Nothing available: drop decision.
-    g.bench_function("drop_decision", |b| {
-        b.iter(|| {
-            black_box(decide(
-                black_box(desired),
-                black_box(PortBitmap::EMPTY),
-                black_box(eligible),
-                black_box(7),
-            ))
-        })
+    g.case("drop_decision", || {
+        black_box(decide(
+            black_box(desired),
+            black_box(PortBitmap::EMPTY),
+            black_box(eligible),
+            black_box(7),
+        ))
     });
-    g.finish();
 }
 
-fn bench_switch_datapath(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_datapath");
+fn bench_switch_datapath() {
+    let g = Group::new("switch_datapath");
     // 8-port switch, 64-byte minimum frames, uncongested: the line-rate
     // forwarding claim (back-to-back 64B at 1 Gbps = one decision per
     // 512 ns; the software path must be far below that).
@@ -84,45 +78,42 @@ fn bench_switch_datapath(c: &mut Criterion) {
         ("dibs_off", DibsPolicy::Disabled),
         ("dibs_on", DibsPolicy::Random),
     ] {
-        g.bench_function(format!("enqueue_dequeue_{name}"), |b| {
-            let cfg = SwitchConfig {
-                dibs,
-                ..SwitchConfig::dctcp_baseline()
-            };
-            let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false; 8]);
-            let mut rng = SimRng::new(1);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                sw.enqueue(black_box(pkt(i)), (i % 8) as usize, &mut rng);
-                black_box(sw.dequeue((i % 8) as usize));
-            })
-        });
-    }
-    // Congested: every enqueue takes the detour path.
-    g.bench_function("enqueue_congested_detour", |b| {
         let cfg = SwitchConfig {
-            buffer: dibs_switch::BufferConfig::StaticPerPort { packets: 4 },
-            ..SwitchConfig::dctcp_dibs()
+            dibs,
+            ..SwitchConfig::dctcp_baseline()
         };
         let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false; 8]);
         let mut rng = SimRng::new(1);
-        // Saturate port 0.
-        for i in 0..4 {
-            sw.enqueue(pkt(i), 0, &mut rng);
-        }
-        let mut i = 100u64;
-        b.iter(|| {
+        let mut i = 0u64;
+        g.case(&format!("enqueue_dequeue_{name}"), || {
             i += 1;
-            // Port 0 is full: this detours; drain the detour target next.
-            let r = sw.enqueue(black_box(pkt(i)), 0, &mut rng);
-            if let dibs_switch::EnqueueOutcome::Detoured { port } = r.outcome {
-                black_box(sw.dequeue(port));
-            }
-        })
+            sw.enqueue(black_box(pkt(i)), (i % 8) as usize, &mut rng);
+            black_box(sw.dequeue((i % 8) as usize));
+        });
+    }
+    // Congested: every enqueue takes the detour path.
+    let cfg = SwitchConfig {
+        buffer: dibs_switch::BufferConfig::StaticPerPort { packets: 4 },
+        ..SwitchConfig::dctcp_dibs()
+    };
+    let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false; 8]);
+    let mut rng = SimRng::new(1);
+    // Saturate port 0.
+    for i in 0..4 {
+        sw.enqueue(pkt(i), 0, &mut rng);
+    }
+    let mut i = 100u64;
+    g.case("enqueue_congested_detour", || {
+        i += 1;
+        // Port 0 is full: this detours; drain the detour target next.
+        let r = sw.enqueue(black_box(pkt(i)), 0, &mut rng);
+        if let dibs_switch::EnqueueOutcome::Detoured { port } = r.outcome {
+            black_box(sw.dequeue(port));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_lookup_stage, bench_switch_datapath);
-criterion_main!(benches);
+fn main() {
+    bench_lookup_stage();
+    bench_switch_datapath();
+}

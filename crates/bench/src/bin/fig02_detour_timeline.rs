@@ -28,6 +28,8 @@ fn main() {
     let bucket_ms = 0.5;
     let mut buckets: Vec<[u32; 3]> = Vec::new();
     for ev in &results.detour_log.events {
+        // Event times are nonnegative and bounded by the horizon.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let b = (ev.time_s * 1000.0 / bucket_ms) as usize;
         if buckets.len() <= b {
             buckets.resize(b + 1, [0; 3]);
@@ -58,6 +60,8 @@ fn main() {
         .collect();
     if let Some((peak_idx, &peak)) = totals.iter().enumerate().max_by_key(|(_, t)| **t) {
         let pick = |frac: f64, after: bool| -> usize {
+            // frac in [0,1] keeps the product within the peak count.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let target = (peak as f64 * frac) as usize;
             if after {
                 (peak_idx..totals.len())

@@ -13,6 +13,8 @@
 //! be set via the `DIBS_SCALE` environment variable (`quick`, `default`,
 //! `full`).
 
+pub mod timing;
+
 use dibs::presets::MixedWorkload;
 use dibs::RunResults;
 use dibs_engine::time::SimDuration;
@@ -147,23 +149,22 @@ where
     let n = items.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
-    crossbeam::thread::scope(|s| {
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|s| {
         for _ in 0..cores.min(n) {
-            s.spawn(|_| loop {
-                let item = queue.lock().pop();
+            s.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
                 match item {
                     Some((i, t)) => {
                         let r = f(t);
-                        results.lock()[i] = Some(r);
+                        results.lock().expect("results lock")[i] = Some(r);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 

@@ -101,21 +101,18 @@ fn main() -> ExitCode {
     }
 
     if json {
-        let map: serde_json::Value = serde_json::Value::Object(
+        let map = dibs_json::Json::Obj(
             reports
                 .into_iter()
                 .map(|(scheme, r)| {
                     (
                         format!("{scheme:?}").to_lowercase(),
-                        serde_json::from_str(&r.render_json()).expect("report JSON"),
+                        dibs_json::ToJson::to_json(&r),
                     )
                 })
                 .collect(),
         );
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&map).expect("serializes")
-        );
+        println!("{}", map.render_pretty());
     }
     ExitCode::SUCCESS
 }

@@ -1,11 +1,11 @@
 //! Human- and machine-readable run reports for `dibs-sim`.
 
 use dibs::RunResults;
+use dibs_json::{Json, ToJson};
 use dibs_stats::Summary;
-use serde::Serialize;
 
 /// The serializable run report.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Query completion time summary (ms), if queries ran.
     pub qct_ms: Option<Summary>,
@@ -132,7 +132,38 @@ impl Report {
 
     /// Renders JSON.
     pub fn render_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_json().render_pretty()
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("qct_ms".to_string(), self.qct_ms.to_json()),
+            (
+                "bg_short_fct_ms".to_string(),
+                self.bg_short_fct_ms.to_json(),
+            ),
+            ("bg_all_fct_ms".to_string(), self.bg_all_fct_ms.to_json()),
+            ("flows_total".to_string(), self.flows_total.to_json()),
+            (
+                "flows_completed".to_string(),
+                self.flows_completed.to_json(),
+            ),
+            ("queries_total".to_string(), self.queries_total.to_json()),
+            (
+                "queries_completed".to_string(),
+                self.queries_completed.to_json(),
+            ),
+            ("counters".to_string(), self.counters.to_json()),
+            ("jain".to_string(), self.jain.to_json()),
+            (
+                "pfc_pause_events".to_string(),
+                self.pfc_pause_events.to_json(),
+            ),
+            ("events".to_string(), self.events.to_json()),
+            ("finished_at_s".to_string(), self.finished_at_s.to_json()),
+        ])
     }
 }
 
@@ -174,7 +205,10 @@ mod tests {
         assert!(text.contains("queries: 1/1 completed"));
         assert!(text.contains("QCT ms"));
         let json = r.render_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed["queries_completed"], 1);
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("queries_completed").and_then(Json::as_u64),
+            Some(1)
+        );
     }
 }

@@ -19,6 +19,7 @@
 
 use dibs_engine::rng::SimRng;
 use dibs_engine::time::{SimDuration, SimTime};
+use dibs_json::{FromJson, Json, JsonError, ObjReader};
 use dibs_net::builders::{
     dumbbell, fat_tree, hyperx, jellyfish, linear, mini_testbed, single_switch, FatTreeParams,
     HyperXParams, JellyfishParams,
@@ -28,56 +29,55 @@ use dibs_net::topology::{LinkSpec, Topology};
 use dibs_switch::{BufferConfig, DibsPolicy};
 use dibs_transport::FastRetransmit;
 use dibs_workload::{BackgroundTraffic, FlowClass, FlowSpec, QuerySpec, QueryTraffic};
-use serde::Deserialize;
 
-/// Top-level scenario file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+/// Top-level scenario file. Unknown fields are rejected so typos in
+/// scenario files fail loudly instead of silently using defaults.
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Root random seed (default 1).
-    #[serde(default = "default_seed")]
     pub seed: u64,
     /// The network to simulate.
     pub topology: TopologySpec,
     /// Base scheme: `dctcp`, `dctcp_dibs`, or `pfabric`.
-    #[serde(default)]
     pub scheme: Scheme,
     /// Fine-grained overrides applied on top of the scheme.
-    #[serde(default)]
     pub overrides: Overrides,
     /// Traffic-generation window in milliseconds.
-    #[serde(default = "default_duration_ms")]
     pub duration_ms: u64,
     /// Drain time after the generation window, in milliseconds.
-    #[serde(default = "default_drain_ms")]
     pub drain_ms: u64,
     /// Traffic to offer.
     pub workloads: Vec<WorkloadSpec>,
     /// Link-utilization sampling interval in milliseconds (0 = off).
-    #[serde(default)]
     pub sample_interval_ms: u64,
 }
 
-fn default_seed() -> u64 {
-    1
-}
-fn default_duration_ms() -> u64 {
-    400
-}
-fn default_drain_ms() -> u64 {
-    600
+impl FromJson for Scenario {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "scenario")?;
+        let s = Scenario {
+            seed: r.optional("seed", 1)?,
+            topology: r.required("topology")?,
+            scheme: r.optional("scheme", Scheme::default())?,
+            overrides: r.optional("overrides", Overrides::default())?,
+            duration_ms: r.optional("duration_ms", 400)?,
+            drain_ms: r.optional("drain_ms", 600)?,
+            workloads: r.required("workloads")?,
+            sample_interval_ms: r.optional("sample_interval_ms", 0)?,
+        };
+        r.deny_unknown()?;
+        Ok(s)
+    }
 }
 
-/// Topology selection.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+/// Topology selection, tagged by a `"type"` field in JSON.
+#[derive(Debug, Clone)]
 pub enum TopologySpec {
     /// K-ary fat-tree (K even).
     FatTree {
         /// Arity (8 = the paper's 128-host fabric).
         k: usize,
         /// Divide inter-switch capacity by this factor (default 1).
-        #[serde(default = "one")]
         oversubscription: u64,
     },
     /// The §5.2 testbed: 2 aggregation, 3 edge, 6 hosts.
@@ -114,14 +114,48 @@ pub enum TopologySpec {
     Dumbbell {
         /// Hosts on each side.
         hosts_per_side: usize,
-        /// Bottleneck rate in Gbit/s.
-        #[serde(default = "one")]
+        /// Bottleneck rate in Gbit/s (default 1).
         bottleneck_gbps: u64,
     },
 }
 
-fn one() -> u64 {
-    1
+impl FromJson for TopologySpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "topology")?;
+        let kind: String = r.required("type")?;
+        let spec = match kind.as_str() {
+            "fat_tree" => TopologySpec::FatTree {
+                k: r.required("k")?,
+                oversubscription: r.optional("oversubscription", 1)?,
+            },
+            "mini_testbed" => TopologySpec::MiniTestbed,
+            "single_switch" => TopologySpec::SingleSwitch {
+                hosts: r.required("hosts")?,
+            },
+            "jellyfish" => TopologySpec::Jellyfish {
+                switches: r.required("switches")?,
+                degree: r.required("degree")?,
+                hosts_per_switch: r.required("hosts_per_switch")?,
+            },
+            "hyperx" => TopologySpec::Hyperx {
+                shape: r.required("shape")?,
+                hosts_per_switch: r.required("hosts_per_switch")?,
+            },
+            "linear" => TopologySpec::Linear {
+                switches: r.required("switches")?,
+                hosts_per_switch: r.required("hosts_per_switch")?,
+            },
+            "dumbbell" => TopologySpec::Dumbbell {
+                hosts_per_side: r.required("hosts_per_side")?,
+                bottleneck_gbps: r.optional("bottleneck_gbps", 1)?,
+            },
+            other => {
+                return Err(JsonError::msg(format!("unknown topology type `{other}`")));
+            }
+        };
+        r.deny_unknown()?;
+        Ok(spec)
+    }
 }
 
 impl TopologySpec {
@@ -186,8 +220,7 @@ impl TopologySpec {
 }
 
 /// Base scheme presets.
-#[derive(Debug, Clone, Copy, Default, Deserialize, PartialEq, Eq)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Scheme {
     /// DCTCP without detouring (droptail baseline).
     Dctcp,
@@ -198,9 +231,19 @@ pub enum Scheme {
     Pfabric,
 }
 
+impl FromJson for Scheme {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match String::from_json(v)?.as_str() {
+            "dctcp" => Ok(Scheme::Dctcp),
+            "dctcp_dibs" => Ok(Scheme::DctcpDibs),
+            "pfabric" => Ok(Scheme::Pfabric),
+            other => Err(JsonError::msg(format!("unknown scheme `{other}`"))),
+        }
+    }
+}
+
 /// Optional parameter overrides.
-#[derive(Debug, Clone, Default, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, Default)]
 pub struct Overrides {
     /// Per-port buffer in packets (`0` = infinite buffers).
     pub buffer_packets: Option<usize>,
@@ -225,9 +268,28 @@ pub struct Overrides {
     pub pfc: Option<[usize; 2]>,
 }
 
-/// One traffic component.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+impl FromJson for Overrides {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "overrides")?;
+        let o = Overrides {
+            buffer_packets: r.optional("buffer_packets", None)?,
+            shared_buffer_bytes: r.optional("shared_buffer_bytes", None)?,
+            ecn_threshold: r.optional("ecn_threshold", None)?,
+            dibs_policy: r.optional("dibs_policy", None)?,
+            min_rto_us: r.optional("min_rto_us", None)?,
+            ttl: r.optional("ttl", None)?,
+            fast_retransmit: r.optional("fast_retransmit", None)?,
+            ack_every: r.optional("ack_every", None)?,
+            ecmp: r.optional("ecmp", None)?,
+            pfc: r.optional("pfc", None)?,
+        };
+        r.deny_unknown()?;
+        Ok(o)
+    }
+}
+
+/// One traffic component, tagged by a `"type"` field in JSON.
+#[derive(Debug, Clone)]
 pub enum WorkloadSpec {
     /// DCTCP-paper background traffic.
     Background {
@@ -251,8 +313,7 @@ pub enum WorkloadSpec {
         degree: usize,
         /// Bytes per response.
         response_bytes: u64,
-        /// Start time in milliseconds.
-        #[serde(default)]
+        /// Start time in milliseconds (default 0).
         at_ms: u64,
     },
     /// §5.6 long-lived node-disjoint pair flows.
@@ -268,10 +329,46 @@ pub enum WorkloadSpec {
         dst: u32,
         /// Bytes to transfer.
         bytes: u64,
-        /// Start time in milliseconds.
-        #[serde(default)]
+        /// Start time in milliseconds (default 0).
         at_ms: u64,
     },
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "workload")?;
+        let kind: String = r.required("type")?;
+        let spec = match kind.as_str() {
+            "background" => WorkloadSpec::Background {
+                interarrival_ms: r.required("interarrival_ms")?,
+            },
+            "query" => WorkloadSpec::Query {
+                qps: r.required("qps")?,
+                degree: r.required("degree")?,
+                response_bytes: r.required("response_bytes")?,
+            },
+            "incast" => WorkloadSpec::Incast {
+                target: r.required("target")?,
+                degree: r.required("degree")?,
+                response_bytes: r.required("response_bytes")?,
+                at_ms: r.optional("at_ms", 0)?,
+            },
+            "long_lived" => WorkloadSpec::LongLived {
+                flows_per_pair: r.required("flows_per_pair")?,
+            },
+            "flow" => WorkloadSpec::Flow {
+                src: r.required("src")?,
+                dst: r.required("dst")?,
+                bytes: r.required("bytes")?,
+                at_ms: r.optional("at_ms", 0)?,
+            },
+            other => {
+                return Err(JsonError::msg(format!("unknown workload type `{other}`")));
+            }
+        };
+        r.deny_unknown()?;
+        Ok(spec)
+    }
 }
 
 /// A scenario error with context.
@@ -286,9 +383,10 @@ impl std::fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {}
 
 impl Scenario {
-    /// Parses a scenario from JSON.
+    /// Parses a scenario from JSON text.
     pub fn from_json(s: &str) -> Result<Self, ScenarioError> {
-        serde_json::from_str(s).map_err(|e| ScenarioError(e.to_string()))
+        let v = Json::parse(s).map_err(|e| ScenarioError(e.0))?;
+        FromJson::from_json(&v).map_err(|e| ScenarioError(e.0))
     }
 
     /// The configured horizon.
@@ -540,7 +638,7 @@ mod tests {
             ),
             (r#"{ "type": "dumbbell", "hosts_per_side": 4 }"#, 8),
         ] {
-            let spec: TopologySpec = serde_json::from_str(json).unwrap();
+            let spec = TopologySpec::from_json(&Json::parse(json).unwrap()).unwrap();
             let topo = spec.build(7);
             assert_eq!(topo.num_hosts(), hosts, "{json}");
             assert!(topo.validate().is_ok());

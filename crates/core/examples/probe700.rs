@@ -1,3 +1,6 @@
+//! Probe: QCT tails at a 700-packet buffer with and without DIBS,
+//! crossed with fast-retransmit settings.
+
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
 use dibs::SimConfig;
 use dibs_engine::time::SimDuration;

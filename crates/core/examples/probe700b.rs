@@ -1,3 +1,6 @@
+//! Probe: sweep of DIBS TTL and buffer sizes around the 700-packet
+//! operating point, reporting QCT tails and drop mix.
+
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
 use dibs::SimConfig;
 use dibs_engine::time::SimDuration;

@@ -5,6 +5,7 @@
 //! single unbounded NIC queue (congestion happens at switches, as in the
 //! paper's NS-3 setup); switches run the full `dibs-switch` data path.
 
+use crate::audit::{AuditLedger, LedgerSnapshot};
 use crate::config::SimConfig;
 use crate::results::{FlowOutcome, PacketPath, QueryOutcome, RunResults};
 use dibs_engine::rng::SimRng;
@@ -18,8 +19,8 @@ use dibs_stats::{DetourLog, NetCounters, OccupancySnapshot, Samples};
 use dibs_switch::{EnqueueOutcome, SwitchCore};
 use dibs_transport::{IdGen, TcpReceiver, TcpSender};
 use dibs_workload::{FlowClass, FlowSpec, QuerySpec};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Maximum distinct detour counts tracked in the delivery histogram.
 const DETOUR_HIST_BUCKETS: usize = 65;
@@ -45,6 +46,13 @@ enum Event {
     Sample,
     /// Snapshot per-flow delivered bytes for warmup-relative throughput.
     WarmupSnapshot,
+    /// A switch ingress pipeline finished the forwarding delay for `pkt`
+    /// arriving on `port` and the packet is ready to be routed/enqueued.
+    ForwardDone {
+        node: NodeId,
+        port: u32,
+        pkt: Packet,
+    },
     /// A PAUSE (true) or RESUME (false) frame took effect at `node`'s
     /// `port` (Ethernet flow control, §6).
     PauseSet {
@@ -151,7 +159,7 @@ pub struct Simulation {
     neighbors2: Vec<Vec<usize>>,
     last_sample: SimTime,
 
-    traces: HashMap<u64, PathTrace>,
+    traces: BTreeMap<u64, PathTrace>,
     finished_paths: Vec<PacketPath>,
     /// `(time, per-flow rcv_nxt)` captured at the warmup instant.
     warmup_snapshot: Option<(SimTime, Vec<u64>)>,
@@ -169,6 +177,8 @@ pub struct Simulation {
     pause_asserted: Vec<Vec<bool>>,
     /// Total PAUSE assertions (diagnostics).
     pause_events: u64,
+    /// Debug-build packet-conservation auditor.
+    audit: AuditLedger,
 }
 
 impl Simulation {
@@ -263,7 +273,7 @@ impl Simulation {
             neighbors1,
             neighbors2,
             last_sample: SimTime::ZERO,
-            traces: HashMap::new(),
+            traces: BTreeMap::new(),
             finished_paths: Vec::new(),
             warmup_snapshot: None,
             paused: (0..topo.num_nodes())
@@ -290,6 +300,7 @@ impl Simulation {
                 .map(|&n| vec![false; topo.num_ports(n)])
                 .collect(),
             pause_events: 0,
+            audit: AuditLedger::new(),
             topo,
             config,
         }
@@ -337,7 +348,7 @@ impl Simulation {
         assert!(spec.src != spec.dst, "self-flow {:?}", spec);
         assert!(spec.src.index() < self.topo.num_hosts());
         assert!(spec.dst.index() < self.topo.num_hosts());
-        let fi = self.flows.len() as u32;
+        let fi = u32::try_from(self.flows.len()).expect("flow count fits u32");
         let flow_id = FlowId(fi);
         let sender = TcpSender::new(self.config.tcp, flow_id, spec.src, spec.dst, spec.size);
         let receiver = TcpReceiver::with_delayed_acks(
@@ -370,11 +381,42 @@ impl Simulation {
         }
         while let Some(ev) = self.engine.next_event() {
             self.dispatch(ev);
+            if self.audit.tick() {
+                self.conservation_check();
+            }
         }
         self.finalize()
     }
 
+    /// Debug-build audit: every injected packet is delivered, dropped,
+    /// queued somewhere, or riding inside a scheduled event.
+    fn conservation_check(&self) {
+        AuditLedger::check(&LedgerSnapshot {
+            sent: self.counters.packets_sent,
+            delivered: self.counters.packets_delivered,
+            dropped: self.counters.total_drops(),
+            in_nic: self.host_nic.iter().map(|n| n.queue.len() as u64).sum(),
+            in_ingress: self
+                .ingress_q
+                .iter()
+                .flat_map(|qs| qs.iter().map(|q| q.len() as u64))
+                .sum(),
+            in_buffer: self
+                .switches
+                .iter()
+                .map(|s| s.total_buffered() as u64)
+                .sum(),
+            in_events: self.audit.in_events(),
+        });
+    }
+
     fn dispatch(&mut self, ev: Event) {
+        if matches!(
+            ev,
+            Event::Arrive { .. } | Event::TxComplete { .. } | Event::ForwardDone { .. }
+        ) {
+            self.audit.packet_event_dispatched();
+        }
         match ev {
             Event::FlowStart(fi) => self.on_flow_start(fi as usize),
             Event::Arrive { node, pkt } => self.on_arrive(node, pkt),
@@ -443,7 +485,7 @@ impl Simulation {
                 self.engine.schedule_at(
                     deadline,
                     Event::RtoFire {
-                        flow: fi as u32,
+                        flow: u32::try_from(fi).expect("flow index fits u32"),
                         gen,
                     },
                 );
@@ -492,6 +534,7 @@ impl Simulation {
         self.host_nic[host.index()].busy = true;
         let up = self.topo.host_uplink(host);
         let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), up.rate_bps);
+        self.audit.packet_event_scheduled();
         self.engine
             .schedule_in(ser, Event::TxComplete { node, port: 0, pkt });
     }
@@ -596,6 +639,21 @@ impl Simulation {
             return;
         }
         pkt.hops += 1;
+        // DIBS TTL bounds: the TTL only ever decreases from its initial
+        // value, and a packet cannot have detoured more times than it
+        // has traversed switches.
+        debug_assert!(
+            pkt.ttl < self.config.tcp.initial_ttl,
+            "TTL {} not below initial {}",
+            pkt.ttl,
+            self.config.tcp.initial_ttl
+        );
+        debug_assert!(
+            u64::from(pkt.detours) <= u64::from(pkt.hops),
+            "packet detoured {} times in {} hops",
+            pkt.detours,
+            pkt.hops
+        );
         self.record_trace_hop(&pkt, node);
 
         let si = self.topo.as_switch(node).expect("switch node").index();
@@ -630,13 +688,17 @@ impl Simulation {
             unreachable!("ingress queues are only fed in CIOQ mode");
         };
         self.ingress_busy[si][ingress] = true;
+        // Speedup is a small positive factor; the scaled rate stays far
+        // below u64::MAX for any physical link.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let rate = (self.topo.port(node, ingress).rate_bps as f64 * speedup) as u64;
         let service = SimDuration::serialization(u64::from(pkt.wire_bytes), rate.max(1));
+        self.audit.packet_event_scheduled();
         self.engine.schedule_in(
             service,
             Event::ForwardDone {
                 node,
-                port: ingress as u32,
+                port: u32::try_from(ingress).expect("port index fits u32"),
                 pkt,
             },
         );
@@ -675,7 +737,8 @@ impl Simulation {
                 self.counters.detours += 1;
                 self.detours_per_switch[si] += 1;
                 let layer = layer_code(self.topo.layer(node));
-                self.detour_log.record(self.engine.now(), si as u32, layer);
+                let si32 = u32::try_from(si).expect("switch index fits u32");
+                self.detour_log.record(self.engine.now(), si32, layer);
                 if self.config.trace_paths {
                     if let Some(t) = self.traces.get_mut(&pid) {
                         t.pending_detour = true;
@@ -703,11 +766,12 @@ impl Simulation {
         self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
         let rate = self.topo.port(node, port).rate_bps;
         let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), rate);
+        self.audit.packet_event_scheduled();
         self.engine.schedule_in(
             ser,
             Event::TxComplete {
                 node,
-                port: port as u32,
+                port: u32::try_from(port).expect("port index fits u32"),
                 pkt,
             },
         );
@@ -746,7 +810,7 @@ impl Simulation {
             delay,
             Event::PauseSet {
                 node: p.peer,
-                port: p.peer_port as u32,
+                port: u32::try_from(p.peer_port).expect("port index fits u32"),
                 paused,
             },
         );
@@ -757,8 +821,9 @@ impl Simulation {
         let peer = p.peer;
         let delay = p.delay;
         // Stamp the ingress port the packet will arrive on (PFC accounting).
-        pkt.last_ingress = p.peer_port as u16;
+        pkt.last_ingress = u16::try_from(p.peer_port).expect("port index fits u16");
         self.port_tx_bytes[self.port_offsets[node.index()] + port] += u64::from(pkt.wire_bytes);
+        self.audit.packet_event_scheduled();
         self.engine
             .schedule_in(delay, Event::Arrive { node: peer, pkt });
 
@@ -892,6 +957,9 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn finalize(mut self) -> RunResults {
+        // Final conservation audit: at the horizon every injected packet
+        // is delivered, dropped, or still parked in a queue/event.
+        self.conservation_check();
         let finished_at = self.engine.now();
 
         // Fold in switch and sender counters.

@@ -34,6 +34,7 @@
 
 pub mod queue;
 pub mod rng;
+pub mod testkit;
 pub mod time;
 
 pub use queue::EventQueue;
@@ -112,6 +113,7 @@ impl<E> Engine<E> {
             }
             Some(_) => {
                 let (t, ev) = self.queue.pop().expect("peeked");
+                debug_assert!(t >= self.now, "engine clock moved backwards");
                 self.now = t;
                 Some(ev)
             }
@@ -155,7 +157,10 @@ mod tests {
     fn clock_advances_monotonically() {
         let mut e: Engine<u32> = Engine::new();
         for i in 0..50 {
-            e.schedule_at(SimTime::from_nanos((i * 37) % 100), i as u32);
+            e.schedule_at(
+                SimTime::from_nanos((i * 37) % 100),
+                u32::try_from(i).unwrap(),
+            );
         }
         let mut last = SimTime::ZERO;
         while e.next_event().is_some() {

@@ -62,6 +62,9 @@ pub struct EventQueue<E> {
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    /// `(time, seq)` of the most recent pop, for the debug-build audit
+    /// that dispatch order is strictly increasing.
+    last_popped: Option<(SimTime, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +81,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            last_popped: None,
         }
     }
 
@@ -88,6 +92,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            last_popped: None,
         }
     }
 
@@ -100,9 +105,21 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, if any.
+    ///
+    /// Debug builds audit that pops come out in strictly increasing
+    /// `(time, seq)` order — the total order every deterministic run
+    /// depends on.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.popped += 1;
+        debug_assert!(
+            self.last_popped
+                .is_none_or(|last| last < (entry.time, entry.seq)),
+            "event queue popped out of (time, seq) order: {:?} after {:?}",
+            (entry.time, entry.seq),
+            self.last_popped,
+        );
+        self.last_popped = Some((entry.time, entry.seq));
         Some((entry.time, entry.event))
     }
 
@@ -132,8 +149,12 @@ impl<E> EventQueue<E> {
     }
 
     /// Discards all pending events.
+    ///
+    /// Also resets the pop-order audit: a cleared queue may be reused
+    /// for a fresh timeline.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.last_popped = None;
     }
 }
 

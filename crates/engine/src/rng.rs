@@ -5,9 +5,6 @@
 //! [`SimRng`], forked from a single root seed. Forking is label-based, so
 //! adding a new consumer does not perturb the streams of existing ones.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// SplitMix64 step; used to derive fork seeds from (seed, label) pairs.
 ///
 /// This is the canonical splitmix64 finalizer from Steele et al., a cheap,
@@ -22,8 +19,10 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// A seeded random stream.
 ///
-/// Wraps [`StdRng`] with a convenience API and deterministic label-based
-/// forking.
+/// A self-contained xoshiro256++ generator with a convenience API and
+/// deterministic label-based forking. The implementation carries no
+/// external dependencies and no global state, so identical seeds give
+/// bit-identical streams on every platform and build.
 ///
 /// # Examples
 ///
@@ -35,17 +34,22 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a stream from a root seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
-            seed,
+        // Expand the seed through splitmix64, per the xoshiro authors'
+        // recommendation; the all-zero state is unreachable this way.
+        let mut s = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            s = splitmix64(s);
+            *word = s;
         }
+        SimRng { state, seed }
     }
 
     /// The seed this stream was created from.
@@ -71,14 +75,24 @@ impl SimRng {
         SimRng::new(splitmix64(forked.seed ^ splitmix64(idx)))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into the unit interval.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -88,7 +102,8 @@ impl SimRng {
     /// Panics if `n` is zero.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        let bound = n as u64;
+        usize::try_from(self.bounded(bound)).expect("bound fits usize")
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -98,7 +113,21 @@ impl SimRng {
     /// Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.bounded(hi - lo)
+    }
+
+    /// Unbiased uniform value in `[0, bound)` via rejection sampling.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Classic Lemire-style threshold rejection: discard the biased
+        // low region so every residue is equally likely.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -159,11 +188,6 @@ impl SimRng {
             chosen.swap(i, j);
         }
         chosen
-    }
-
-    /// Access to the underlying `rand` RNG for use with `rand` APIs.
-    pub fn raw(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 

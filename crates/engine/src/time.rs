@@ -60,6 +60,9 @@ impl SimTime {
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid time: {s}");
+        // Saturating by construction: a rounded nonnegative finite f64
+        // above u64::MAX is out of this simulator's representable range.
+        #[allow(clippy::cast_possible_truncation)]
         SimTime((s * 1e9).round() as u64)
     }
 
@@ -132,6 +135,8 @@ impl SimDuration {
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        // Same representable-range argument as SimTime::from_secs_f64.
+        #[allow(clippy::cast_possible_truncation)]
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -168,7 +173,9 @@ impl SimDuration {
         // ns = bits * 1e9 / rate, computed in u128 to avoid overflow.
         let bits = bytes as u128 * 8;
         let ns = (bits * 1_000_000_000).div_ceil(rate_bps as u128);
-        SimDuration(ns as u64)
+        // bits <= 2^67 and rate >= 1, so ns < 2^97 only in theory; real
+        // packet sizes keep this far below u64::MAX. Saturate regardless.
+        SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 
     /// Saturating multiplication by an integer factor.
@@ -255,6 +262,9 @@ impl Mul<f64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: f64) -> SimDuration {
         assert!(rhs.is_finite() && rhs >= 0.0, "invalid factor: {rhs}");
+        // Nonnegative finite product; values beyond u64::MAX are outside
+        // the simulator's representable range.
+        #[allow(clippy::cast_possible_truncation)]
         SimDuration((self.0 as f64 * rhs).round() as u64)
     }
 }

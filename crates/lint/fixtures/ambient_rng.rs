@@ -1,0 +1,5 @@
+// Fixture: the `ambient-rng` lint must fire on OS-seeded randomness.
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,5 @@
+// Fixture: the `float-ordering` lint must fire on float comparisons in
+// event/time ordering code.
+fn earlier(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,7 @@
+// Fixture: the `hash-collections` lint must fire on hash-based
+// collections in simulation code.
+use std::collections::HashMap;
+
+fn route_table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

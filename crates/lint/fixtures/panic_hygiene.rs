@@ -1,0 +1,5 @@
+// Fixture: the `panic-hygiene` lint must fire on unwrap/expect in
+// hot-path code.
+fn route(table: &std::collections::BTreeMap<u32, u32>, dst: u32) -> u32 {
+    *table.get(&dst).unwrap()
+}

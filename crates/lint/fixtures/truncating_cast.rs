@@ -1,0 +1,5 @@
+// Fixture: the `truncating-cast` lint must fire on narrowing `as`
+// casts of counter-like values.
+fn compress(byte_count: u64) -> u32 {
+    byte_count as u32
+}

@@ -1,0 +1,11 @@
+// Fixture: the `unchecked-sub` lint must fire on raw subtraction of
+// accounting state.
+struct Pool {
+    buffered_bytes: u64,
+}
+
+impl Pool {
+    fn release(&mut self, n: u64) {
+        self.buffered_bytes -= n;
+    }
+}

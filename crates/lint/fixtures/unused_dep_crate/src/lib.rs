@@ -1,0 +1,2 @@
+// This crate never references its declared dependency.
+pub fn nothing() {}

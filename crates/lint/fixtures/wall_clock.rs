@@ -1,0 +1,5 @@
+// Fixture: the `wall-clock` lint must fire on host-time reads in
+// simulation code.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

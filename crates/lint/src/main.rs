@@ -1,0 +1,66 @@
+//! Command-line entry point for `dibs-lint`.
+//!
+//! Usage, from the workspace root:
+//!
+//! ```text
+//! cargo run -p dibs-lint -- crates          # scan the workspace
+//! cargo run -p dibs-lint -- path/to/file.rs # scan one loose file (strict)
+//! ```
+//!
+//! Exits 0 when no finding survives the `lint.toml` allowlist, 1 when
+//! findings are printed, 2 on usage or I/O errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() {
+        vec!["crates"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut findings = Vec::new();
+    for target in targets {
+        let path = Path::new(target);
+        let result = if path.is_file() {
+            dibs_lint::scan_loose_file(path)
+        } else if path.is_dir() {
+            if path.join("Cargo.toml").is_file() && !path.join("crates").is_dir() {
+                // A single crate directory (e.g. a fixture crate).
+                dibs_lint::scan_single_crate(path)
+            } else {
+                // `crates` (or any crate-collection dir) is scanned relative
+                // to its parent so diagnostics read `crates/…` from the
+                // repo root.
+                let root = path.parent().filter(|p| !p.as_os_str().is_empty());
+                dibs_lint::scan_workspace(root.unwrap_or_else(|| Path::new(".")))
+            }
+        } else {
+            Err(format!("no such file or directory: {target}"))
+        };
+        match result {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("dibs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("dibs-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    let rules: Vec<&str> = dibs_lint::rules_fired(&findings).into_iter().collect();
+    println!(
+        "dibs-lint: {} finding(s) across rule(s): {}",
+        findings.len(),
+        rules.join(", ")
+    );
+    ExitCode::FAILURE
+}

@@ -3,29 +3,30 @@
 //! All simulator state lives in index arenas; these newtypes keep the many
 //! `usize` indices from being confused with one another.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $inner);
 
         impl $name {
             /// The wrapped index.
             #[inline]
+            #[allow(clippy::cast_possible_truncation)] // ids fit the arena's usize range
             pub fn index(self) -> usize {
                 self.0 as usize
             }
 
             /// Constructs an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` does not fit the id's backing integer.
             #[inline]
             pub fn from_index(i: usize) -> Self {
-                $name(i as $inner)
+                $name(<$inner>::try_from(i).expect("arena index fits id type"))
             }
         }
 
@@ -69,7 +70,7 @@ id_type!(
 );
 
 /// A directed endpoint: a specific port on a specific node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortRef {
     /// The owning node.
     pub node: NodeId,
@@ -109,8 +110,8 @@ mod tests {
 
     #[test]
     fn ids_are_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let mut s = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
         s.insert(HostId(1));
         s.insert(HostId(1));
         s.insert(HostId(2));

@@ -88,7 +88,7 @@ impl Fib {
                     .iter()
                     .enumerate()
                     .filter(|(_, p)| dist[p.peer.index()][dst] == dn - 1)
-                    .map(|(i, _)| i as u16)
+                    .map(|(i, _)| u16::try_from(i).expect("port index fits u16"))
                     .collect();
                 ports[node][dst] = entry;
             }
@@ -120,6 +120,8 @@ impl Fib {
             1 => Some(usize::from(hops[0])),
             n => {
                 let h = ecmp_hash(flow, node, dst, self.salt);
+                // `h % n` is < n, which is a usize (the port count).
+                #[allow(clippy::cast_possible_truncation)]
                 Some(usize::from(hops[(h % n as u64) as usize]))
             }
         }
@@ -145,6 +147,8 @@ impl Fib {
             1 => Some(usize::from(hops[0])),
             n => {
                 let h = splitmix64(packet_entropy ^ self.salt ^ (u64::from(node.0) << 32));
+                // `h % n` is < n, which is a usize (the port count).
+                #[allow(clippy::cast_possible_truncation)]
                 Some(usize::from(hops[(h % n as u64) as usize]))
             }
         }
@@ -253,7 +257,7 @@ mod tests {
         let p2 = fib.select_port(edge, dst, FlowId(3)).unwrap();
         assert_eq!(p1, p2);
         // Spread: over many flows both uplinks are used, roughly evenly.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for f in 0..1000 {
             let p = fib.select_port(edge, dst, FlowId(f)).unwrap();
             *counts.entry(p).or_insert(0usize) += 1;

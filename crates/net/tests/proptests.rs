@@ -1,65 +1,70 @@
-//! Property-based tests for topology generation and routing.
+//! Property-based tests for topology generation and routing, driven by the
+//! deterministic harness in `dibs_engine::testkit`.
 
 use dibs_engine::rng::SimRng;
+use dibs_engine::testkit::cases_n;
 use dibs_net::builders::{dumbbell, fat_tree, jellyfish, linear, FatTreeParams, JellyfishParams};
 use dibs_net::ids::{FlowId, HostId};
 use dibs_net::routing::Fib;
 use dibs_net::topology::{LinkSpec, Topology};
-use proptest::prelude::*;
 
-fn check_fib_invariants(topo: &Topology) -> Result<(), TestCaseError> {
+fn check_fib_invariants(topo: &Topology) {
     let fib = Fib::compute(topo);
     for node in 0..topo.num_nodes() {
         let n = dibs_net::NodeId::from_index(node);
         for h in 0..topo.num_hosts() {
             let dst = HostId::from_index(h);
             let d = fib.distance(n, dst);
-            prop_assert!(d != u16::MAX, "unreachable {n} -> {dst}");
+            assert!(d != u16::MAX, "unreachable {n} -> {dst}");
             if topo.as_host(n) == Some(dst) {
-                prop_assert_eq!(d, 0);
+                assert_eq!(d, 0);
                 continue;
             }
             let hops = fib.next_hops(n, dst);
             // Hosts can only originate; other-host FIB rows stay empty and
             // are never consulted.
             if topo.is_host(n) {
-                prop_assert_eq!(hops.len(), 1, "host has one uplink route");
+                assert_eq!(hops.len(), 1, "host has one uplink route");
             }
-            prop_assert!(!hops.is_empty(), "no next hop at {n} for {dst}");
+            assert!(!hops.is_empty(), "no next hop at {n} for {dst}");
             for &p in hops {
                 let peer = topo.port(n, usize::from(p)).peer;
                 // Every FIB port strictly decreases distance.
-                prop_assert_eq!(fib.distance(peer, dst), d - 1);
+                assert_eq!(fib.distance(peer, dst), d - 1);
                 // And never relays through a third-party host.
                 if topo.is_host(peer) {
-                    prop_assert_eq!(topo.as_host(peer), Some(dst));
+                    assert_eq!(topo.as_host(peer), Some(dst));
                 }
             }
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Fat-trees of any even arity validate and route correctly.
-    #[test]
-    fn fat_tree_fib_invariants(half in 1usize..4) {
+/// Fat-trees of any even arity validate and route correctly.
+#[test]
+fn fat_tree_fib_invariants() {
+    for half in 1usize..4 {
         let k = half * 2;
-        let topo = fat_tree(FatTreeParams { k, ..FatTreeParams::paper_default() });
-        prop_assert_eq!(topo.num_hosts(), k * k * k / 4);
-        prop_assert!(topo.validate().is_ok());
-        check_fib_invariants(&topo)?;
+        let topo = fat_tree(FatTreeParams {
+            k,
+            ..FatTreeParams::paper_default()
+        });
+        assert_eq!(topo.num_hosts(), k * k * k / 4);
+        assert!(topo.validate().is_ok());
+        check_fib_invariants(&topo);
     }
+}
 
-    /// Jellyfish graphs are connected, regular, and routable for any seed.
-    #[test]
-    fn jellyfish_fib_invariants(seed in any::<u64>(), n in 6usize..16) {
+/// Jellyfish graphs are connected, regular, and routable for any seed.
+#[test]
+fn jellyfish_fib_invariants() {
+    cases_n("jellyfish-fib", 16, |rng, _| {
+        let seed = rng.next_u64();
+        let n = usize::try_from(rng.range_u64(6, 16)).unwrap();
         let degree = 3;
         // switches*degree must be even.
         let n = if (n * degree) % 2 == 1 { n + 1 } else { n };
-        let mut rng = SimRng::new(seed);
+        let mut topo_rng = SimRng::new(seed);
         let topo = jellyfish(
             JellyfishParams {
                 switches: n,
@@ -68,36 +73,48 @@ proptest! {
                 host_link: LinkSpec::gbit(1),
                 fabric_link: LinkSpec::gbit(1),
             },
-            &mut rng,
+            &mut topo_rng,
         );
-        prop_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
-        check_fib_invariants(&topo)?;
+        assert!(topo.validate().is_ok(), "{:?}", topo.validate());
+        check_fib_invariants(&topo);
+    });
+}
+
+/// Linear chains and dumbbells route with unique shortest paths.
+#[test]
+fn degenerate_topologies_route() {
+    for switches in 1usize..6 {
+        for hosts in 1usize..4 {
+            let chain = linear(switches, hosts, LinkSpec::gbit(1));
+            assert!(chain.validate().is_ok());
+            check_fib_invariants(&chain);
+
+            let bell = dumbbell(hosts, hosts, LinkSpec::gbit(1), LinkSpec::gbit(2));
+            check_fib_invariants(&bell);
+        }
     }
+}
 
-    /// Linear chains and dumbbells route with unique shortest paths.
-    #[test]
-    fn degenerate_topologies_route(switches in 1usize..6, hosts in 1usize..4) {
-        let chain = linear(switches, hosts, LinkSpec::gbit(1));
-        prop_assert!(chain.validate().is_ok());
-        check_fib_invariants(&chain)?;
-
-        let bell = dumbbell(hosts, hosts, LinkSpec::gbit(1), LinkSpec::gbit(2));
-        check_fib_invariants(&bell)?;
-    }
-
-    /// ECMP is deterministic per flow and uses only FIB ports.
-    #[test]
-    fn ecmp_stays_within_fib(flow in any::<u32>(), salt in any::<u64>()) {
-        let topo = fat_tree(FatTreeParams { k: 4, ..FatTreeParams::paper_default() });
+/// ECMP is deterministic per flow and uses only FIB ports.
+#[test]
+fn ecmp_stays_within_fib() {
+    cases_n("ecmp-within-fib", 24, |rng, _| {
+        let flow = u32::try_from(rng.next_u64() & 0xffff_ffff).unwrap();
+        let salt = rng.next_u64();
+        let topo = fat_tree(FatTreeParams {
+            k: 4,
+            ..FatTreeParams::paper_default()
+        });
         let fib = Fib::compute_salted(&topo, salt);
         for &sw in topo.switch_nodes() {
             for h in [0usize, 7, 15] {
                 let dst = HostId::from_index(h);
                 let sel = fib.select_port(sw, dst, FlowId(flow)).expect("route");
-                prop_assert!(fib.next_hops(sw, dst).contains(&(sel as u16)));
+                let sel16 = u16::try_from(sel).unwrap();
+                assert!(fib.next_hops(sw, dst).contains(&sel16));
                 // Stable across repeated queries.
-                prop_assert_eq!(fib.select_port(sw, dst, FlowId(flow)), Some(sel));
+                assert_eq!(fib.select_port(sw, dst, FlowId(flow)), Some(sel));
             }
         }
-    }
+    });
 }

@@ -1,9 +1,9 @@
 //! Network-wide event counters.
 
-use serde::{Deserialize, Serialize};
+use dibs_json::{FromJson, Json, JsonError, ObjReader, ToJson};
 
 /// Aggregate counters across a whole simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetCounters {
     /// Data + ack packets injected by hosts.
     pub packets_sent: u64,
@@ -99,6 +99,59 @@ impl NetCounters {
     }
 }
 
+/// Expands once per counter field so serialization, parsing, and merging
+/// can never drift out of sync with the struct definition.
+macro_rules! counter_fields {
+    ($m:ident) => {
+        $m!(
+            packets_sent,
+            packets_delivered,
+            drops_buffer,
+            drops_ttl,
+            drops_displaced,
+            drops_host_nic,
+            detours,
+            delivered_detoured,
+            ecn_marks,
+            rto_timeouts,
+            fast_retransmits,
+            spurious_timeouts,
+            delivered_hops,
+            query_pkts_delivered,
+            query_pkts_detoured,
+            bg_pkts_delivered,
+            bg_pkts_detoured
+        )
+    };
+}
+
+impl ToJson for NetCounters {
+    fn to_json(&self) -> Json {
+        macro_rules! emit {
+            ($($f:ident),*) => {
+                Json::Obj(vec![$((stringify!($f).to_string(), self.$f.to_json())),*])
+            };
+        }
+        counter_fields!(emit)
+    }
+}
+
+impl FromJson for NetCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "NetCounters")?;
+        macro_rules! read {
+            ($($f:ident),*) => {{
+                let c = NetCounters {
+                    $($f: r.optional(stringify!($f), 0)?,)*
+                };
+                r.deny_unknown()?;
+                Ok(c)
+            }};
+        }
+        counter_fields!(read)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +188,20 @@ mod tests {
         assert_eq!(a.packets_sent, 17);
         assert_eq!(a.detours, 6);
         assert_eq!(a.ecn_marks, 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = NetCounters {
+            packets_sent: 10,
+            drops_ttl: 3,
+            bg_pkts_detoured: 1,
+            ..Default::default()
+        };
+        let parsed = NetCounters::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed, c);
+        let reparsed =
+            NetCounters::from_json(&Json::parse(&c.to_json().render()).unwrap()).unwrap();
+        assert_eq!(reparsed, c);
     }
 }

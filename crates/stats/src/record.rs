@@ -1,13 +1,13 @@
 //! Experiment result records: the rows the benchmark harness prints and
 //! the JSON it persists for EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
+use dibs_json::{FromJson, Json, JsonError, ObjReader, ToJson};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One point of one series of a figure: an x value (the swept parameter)
 /// and named y values (e.g. `qct_p99_ms`, `bg_fct_p99_ms`).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// The swept parameter value.
     pub x: f64,
@@ -33,7 +33,7 @@ impl SeriesPoint {
 
 /// A complete experiment record: identifies the figure/table, the fixed
 /// parameters, and the measured series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment id, e.g. `fig08_bg_interarrival`.
     pub id: String,
@@ -114,12 +114,60 @@ impl ExperimentRecord {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("record serializes")
+        ToJson::to_json(self).render_pretty()
     }
 
     /// Parses a record back from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        FromJson::from_json(&Json::parse(s)?)
+    }
+}
+
+impl ToJson for SeriesPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("x".to_string(), self.x.to_json()),
+            ("y".to_string(), self.y.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SeriesPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "SeriesPoint")?;
+        let p = SeriesPoint {
+            x: r.required("x")?,
+            y: r.required("y")?,
+        };
+        r.deny_unknown()?;
+        Ok(p)
+    }
+}
+
+impl ToJson for ExperimentRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), self.id.to_json()),
+            ("title".to_string(), self.title.to_json()),
+            ("x_label".to_string(), self.x_label.to_json()),
+            ("params".to_string(), self.params.to_json()),
+            ("points".to_string(), self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "ExperimentRecord")?;
+        let rec = ExperimentRecord {
+            id: r.required("id")?,
+            title: r.required("title")?,
+            x_label: r.required("x_label")?,
+            params: r.required("params")?,
+            points: r.required("points")?,
+        };
+        r.deny_unknown()?;
+        Ok(rec)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Sample collections, percentiles, and distribution summaries.
 
-use serde::{Deserialize, Serialize};
+use dibs_json::{FromJson, Json, JsonError, ObjReader, ToJson};
 
 /// A collection of scalar samples with exact percentile queries.
 ///
@@ -72,6 +72,8 @@ impl Samples {
         }
         self.ensure_sorted();
         let p = p.clamp(0.0, 1.0);
+        // p in [0,1] bounds the product by len, which is a usize.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let rank = ((p * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
         Some(self.values[rank - 1])
     }
@@ -124,7 +126,10 @@ impl Samples {
         let step = (n as f64 / max_points as f64).max(1.0);
         let mut pts = Vec::new();
         let mut i = 0.0;
+        // i stays in [0, n]: a nonnegative f64 bounded by a usize.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         while (i as usize) < n {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let idx = i as usize;
             pts.push((self.values[idx], (idx + 1) as f64 / n as f64));
             i += step;
@@ -137,7 +142,7 @@ impl Samples {
 }
 
 /// A distribution summary, serializable for experiment records.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample count.
     pub count: u64,
@@ -155,6 +160,37 @@ pub struct Summary {
     pub p999: f64,
     /// Maximum.
     pub max: f64,
+}
+
+macro_rules! summary_fields {
+    ($m:ident) => {
+        $m!(count: u64, mean: f64, min: f64, p50: f64, p90: f64, p99: f64, p999: f64, max: f64)
+    };
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        macro_rules! emit {
+            ($($f:ident: $t:ty),*) => {
+                Json::Obj(vec![$((stringify!($f).to_string(), self.$f.to_json())),*])
+            };
+        }
+        summary_fields!(emit)
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new(v, "Summary")?;
+        macro_rules! read {
+            ($($f:ident: $t:ty),*) => {{
+                let s = Summary { $($f: r.required::<$t>(stringify!($f))?,)* };
+                r.deny_unknown()?;
+                Ok(s)
+            }};
+        }
+        summary_fields!(read)
+    }
 }
 
 /// Jain's fairness index over per-flow throughputs (§5.6): 1 is perfectly

@@ -1,10 +1,9 @@
 //! Time-series collectors for the Figure 2 style diagnostics.
 
 use dibs_engine::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A `(time, value)` series.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     /// Samples in insertion (time) order, seconds + value.
     pub points: Vec<(f64, f64)>,
@@ -44,7 +43,7 @@ impl TimeSeries {
 
 /// One detour event: which switch detoured a packet and when (Fig 2a plots
 /// exactly this scatter).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetourEvent {
     /// Time in seconds.
     pub time_s: f64,
@@ -57,7 +56,7 @@ pub struct DetourEvent {
 /// An append-only log of detour events with a hard cap (the scatter only
 /// needs enough points to draw; unbounded logging would dominate memory in
 /// extreme runs).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetourLog {
     /// Captured events (up to `cap`).
     pub events: Vec<DetourEvent>,
@@ -97,7 +96,7 @@ impl DetourLog {
 
 /// A buffer-occupancy snapshot for one switch: one value per port (Fig 2b's
 /// bar groups).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OccupancySnapshot {
     /// Time in seconds.
     pub time_s: f64,
@@ -125,7 +124,7 @@ mod tests {
     fn detour_log_caps() {
         let mut log = DetourLog::new(3);
         for i in 0..10 {
-            log.record(SimTime::from_micros(i), i as u32, 0);
+            log.record(SimTime::from_micros(i), u32::try_from(i).unwrap(), 0);
         }
         assert_eq!(log.events.len(), 3);
         assert_eq!(log.observed, 10);

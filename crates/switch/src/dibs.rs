@@ -93,6 +93,8 @@ impl DibsPolicy {
                 // detours consistently at a given switch but differently at
                 // different switches.
                 let h = ecmp_hash(pkt.flow, node, HostId(pkt.dst.0), 0xD1B5);
+                // `h % len` is < len, which is a usize.
+                #[allow(clippy::cast_possible_truncation)]
                 Some(eligible[(h % eligible.len() as u64) as usize])
             }
         }
@@ -141,7 +143,7 @@ mod tests {
     fn random_covers_all_eligible_ports() {
         let mut rng = SimRng::new(7);
         let eligible = [2usize, 5, 6];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             let p = DibsPolicy::Random
                 .choose(&pkt(0), NodeId(0), &eligible, |_| 0.0, &mut rng)
@@ -180,7 +182,7 @@ mod tests {
                 .unwrap();
             assert_eq!(first, again);
         }
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for f in 0..64 {
             distinct.insert(
                 DibsPolicy::FlowBased

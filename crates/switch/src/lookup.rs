@@ -130,6 +130,8 @@ pub fn decide(
     if n == 0 {
         return LookupDecision::Drop;
     }
+    // `entropy % n` is < n, which is a u32.
+    #[allow(clippy::cast_possible_truncation)]
     let pick = (entropy % u64::from(n)) as u32;
     LookupDecision::Detour(candidates.nth_set(pick).expect("count checked"))
 }

@@ -11,7 +11,6 @@ use crate::queue::{Discipline, PortQueue};
 use dibs_engine::rng::SimRng;
 use dibs_net::packet::Packet;
 use dibs_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of one switch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +62,7 @@ impl SwitchConfig {
 }
 
 /// Why a packet was dropped at a switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropReason {
     /// Desired queue full and no eligible detour port (or DIBS disabled).
     BufferFull,
@@ -100,7 +99,7 @@ pub struct EnqueueResult {
 }
 
 /// Event counters, cheap enough to keep always-on.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SwitchCounters {
     /// Packets accepted onto their desired port.
     pub enqueued: u64,
@@ -258,7 +257,35 @@ impl SwitchCore {
         let pkt = self.queues[port].pop()?;
         self.buffer.on_dequeue(pkt.wire_bytes);
         self.counters.dequeued += 1;
+        self.debug_audit_port(port);
         Some(pkt)
+    }
+
+    /// Debug-build audit of the per-port buffer invariants after any
+    /// data-path mutation: occupancy stays within `[0, capacity]` for
+    /// the active buffer configuration.
+    #[inline]
+    fn debug_audit_port(&self, port: usize) {
+        if cfg!(debug_assertions) {
+            let q = &self.queues[port];
+            match self.config.buffer {
+                BufferConfig::Infinite => {}
+                BufferConfig::StaticPerPort { packets } => {
+                    debug_assert!(
+                        q.len() <= packets,
+                        "port {port} holds {} packets, capacity {packets}",
+                        q.len()
+                    );
+                }
+                BufferConfig::DynamicShared { total_bytes, .. } => {
+                    debug_assert!(
+                        self.buffer.shared_used() <= total_bytes,
+                        "shared pool holds {} bytes, capacity {total_bytes}",
+                        self.buffer.shared_used()
+                    );
+                }
+            }
+        }
     }
 
     fn admit(&mut self, mut pkt: Packet, port: usize) -> EnqueueResult {
@@ -266,6 +293,7 @@ impl SwitchCore {
         self.buffer.on_enqueue(pkt.wire_bytes);
         self.queues[port].push(pkt);
         self.counters.enqueued += 1;
+        self.debug_audit_port(port);
         EnqueueResult {
             outcome: EnqueueOutcome::Enqueued { port },
             displaced: None,
@@ -278,6 +306,7 @@ impl SwitchCore {
         self.buffer.on_enqueue(pkt.wire_bytes);
         self.queues[port].push(pkt);
         self.counters.detoured += 1;
+        self.debug_audit_port(port);
         EnqueueResult {
             outcome: EnqueueOutcome::Detoured { port },
             displaced: None,
@@ -352,6 +381,7 @@ impl SwitchCore {
             self.queues[port].push(pkt);
             self.counters.displaced += 1;
             self.counters.enqueued += 1;
+            self.debug_audit_port(port);
             EnqueueResult {
                 outcome: EnqueueOutcome::Enqueued { port },
                 displaced: Some(displaced),
@@ -375,7 +405,7 @@ mod tests {
     fn pkt(id: u64) -> Packet {
         Packet::data(
             PacketId(id),
-            FlowId(id as u32),
+            FlowId(u32::try_from(id).unwrap()),
             HostId(0),
             HostId(1),
             0,

@@ -1,15 +1,15 @@
 //! Property-based tests for the switch data path: buffer accounting,
 //! detour eligibility, and pFabric priority behavior under random operation
-//! sequences.
+//! sequences, driven by the deterministic harness in `dibs_engine::testkit`.
 
 use dibs_engine::rng::SimRng;
+use dibs_engine::testkit::{cases_n, vec_of};
 use dibs_engine::time::SimTime;
 use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
 use dibs_net::packet::Packet;
 use dibs_switch::{
     BufferConfig, DibsPolicy, Discipline, DropReason, EnqueueOutcome, SwitchConfig, SwitchCore,
 };
-use proptest::prelude::*;
 
 fn pkt(id: u64, flow: u32, priority: u64) -> Packet {
     let mut p = Packet::data(
@@ -39,65 +39,77 @@ enum Op {
     },
 }
 
-fn arb_ops(ports: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..ports, any::<u32>(), 1u64..1_000_000).prop_map(|(port, flow, priority)| {
-                Op::Enqueue {
-                    port,
-                    flow,
-                    priority,
-                }
-            }),
-            (0..ports).prop_map(|port| Op::Dequeue { port }),
-        ],
-        1..len,
-    )
+fn gen_ops(rng: &mut SimRng, ports: usize, len: usize) -> Vec<Op> {
+    vec_of(rng, 1..len, |r| {
+        if r.chance(0.5) {
+            Op::Enqueue {
+                port: r.below(ports),
+                flow: u32::try_from(r.next_u64() & 0xffff_ffff).expect("masked"),
+                priority: r.range_u64(1, 1_000_000),
+            }
+        } else {
+            Op::Dequeue {
+                port: r.below(ports),
+            }
+        }
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Static per-port buffers: queue lengths never exceed the limit, every
-    /// packet is enqueued / detoured / dropped exactly once, and dequeues
-    /// return packets previously admitted.
-    #[test]
-    fn static_buffer_invariants(
-        ops in arb_ops(6, 300),
-        limit in 1usize..8,
-        dibs_on in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// Static per-port buffers: queue lengths never exceed the limit, every
+/// packet is enqueued / detoured / dropped exactly once, and dequeues
+/// return packets previously admitted.
+#[test]
+fn static_buffer_invariants() {
+    cases_n("static-buffer", 64, |rng, _| {
+        let ops = gen_ops(rng, 6, 300);
+        let limit = rng.below(7) + 1;
+        let dibs_on = rng.chance(0.5);
+        let seed = rng.next_u64();
         let cfg = SwitchConfig {
             buffer: BufferConfig::StaticPerPort { packets: limit },
             ecn_threshold: Some(2),
-            dibs: if dibs_on { DibsPolicy::Random } else { DibsPolicy::Disabled },
+            dibs: if dibs_on {
+                DibsPolicy::Random
+            } else {
+                DibsPolicy::Disabled
+            },
             discipline: Discipline::Fifo,
             mark_detoured: true,
         };
         // Port 0 faces a host.
-        let mut sw = SwitchCore::new(NodeId(0), cfg, vec![true, false, false, false, false, false]);
-        let mut rng = SimRng::new(seed);
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            cfg,
+            vec![true, false, false, false, false, false],
+        );
+        let mut sw_rng = SimRng::new(seed);
         let mut resident = 0usize;
         let mut id = 0u64;
         for op in &ops {
             match *op {
-                Op::Enqueue { port, flow, priority } => {
+                Op::Enqueue {
+                    port,
+                    flow,
+                    priority,
+                } => {
                     id += 1;
-                    match sw.enqueue(pkt(id, flow, priority), port, &mut rng).outcome {
+                    match sw
+                        .enqueue(pkt(id, flow, priority), port, &mut sw_rng)
+                        .outcome
+                    {
                         EnqueueOutcome::Enqueued { port: p } => {
-                            prop_assert_eq!(p, port);
+                            assert_eq!(p, port);
                             resident += 1;
                         }
                         EnqueueOutcome::Detoured { port: p } => {
-                            prop_assert!(dibs_on, "detour with DIBS disabled");
-                            prop_assert_ne!(p, port);
-                            prop_assert!(!sw.is_host_facing(p), "detoured to a host port");
+                            assert!(dibs_on, "detour with DIBS disabled");
+                            assert_ne!(p, port);
+                            assert!(!sw.is_host_facing(p), "detoured to a host port");
                             resident += 1;
                         }
                         EnqueueOutcome::Dropped(DropReason::BufferFull) => {}
                         EnqueueOutcome::Dropped(r) => {
-                            prop_assert!(false, "unexpected drop reason {r:?}");
+                            panic!("unexpected drop reason {r:?}");
                         }
                     }
                 }
@@ -108,19 +120,23 @@ proptest! {
                 }
             }
             for p in 0..sw.num_ports() {
-                prop_assert!(sw.queue_len(p) <= limit, "port {p} over limit");
+                assert!(sw.queue_len(p) <= limit, "port {p} over limit");
             }
-            prop_assert_eq!(sw.total_buffered(), resident);
+            assert_eq!(sw.total_buffered(), resident);
         }
         // Counter bookkeeping balances.
         let c = sw.counters();
-        prop_assert_eq!(c.enqueued + c.detoured, (resident + c.dequeued as usize) as u64);
-    }
+        assert_eq!(c.enqueued + c.detoured, resident as u64 + c.dequeued);
+    });
+}
 
-    /// Shared (DBA) buffers: total admitted bytes never exceed the pool, and
-    /// draining releases memory monotonically.
-    #[test]
-    fn dba_pool_never_overflows(ops in arb_ops(4, 300), seed in any::<u64>()) {
+/// Shared (DBA) buffers: total admitted bytes never exceed the pool, and
+/// draining releases memory monotonically.
+#[test]
+fn dba_pool_never_overflows() {
+    cases_n("dba-pool", 64, |rng, _| {
+        let ops = gen_ops(rng, 4, 300);
+        let seed = rng.next_u64();
         let total_bytes = 20 * 1500u64;
         let cfg = SwitchConfig {
             buffer: BufferConfig::DynamicShared {
@@ -134,40 +150,49 @@ proptest! {
             mark_detoured: false,
         };
         let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false; 4]);
-        let mut rng = SimRng::new(seed);
+        let mut sw_rng = SimRng::new(seed);
         let mut id = 0u64;
         for op in &ops {
             match *op {
-                Op::Enqueue { port, flow, priority } => {
+                Op::Enqueue {
+                    port,
+                    flow,
+                    priority,
+                } => {
                     id += 1;
-                    sw.enqueue(pkt(id, flow, priority), port, &mut rng);
+                    sw.enqueue(pkt(id, flow, priority), port, &mut sw_rng);
                 }
                 Op::Dequeue { port } => {
                     sw.dequeue(port);
                 }
             }
             let buffered_bytes: u64 = (0..sw.num_ports()).map(|p| sw.queue_bytes(p)).sum();
-            prop_assert!(buffered_bytes <= total_bytes, "pool overflow: {buffered_bytes}");
-            prop_assert!((0.0..=1.0).contains(&sw.free_fraction()));
+            assert!(
+                buffered_bytes <= total_bytes,
+                "pool overflow: {buffered_bytes}"
+            );
+            assert!((0.0..=1.0).contains(&sw.free_fraction()));
         }
-    }
+    });
+}
 
-    /// pFabric: a queue never holds a packet with worse priority than one it
-    /// displaced, and dequeue order is nondecreasing priority among packets
-    /// present at the same time.
-    #[test]
-    fn pfabric_priority_invariants(
-        priorities in proptest::collection::vec(1u64..1000, 1..60),
-    ) {
+/// pFabric: a queue never holds a packet with worse priority than one it
+/// displaced, and dequeue order is nondecreasing priority among packets
+/// present at the same time.
+#[test]
+fn pfabric_priority_invariants() {
+    cases_n("pfabric-priority", 64, |rng, _| {
+        let priorities = vec_of(rng, 1..60, |r| r.range_u64(1, 1000));
         let cfg = SwitchConfig {
             buffer: BufferConfig::StaticPerPort { packets: 8 },
             ..SwitchConfig::pfabric()
         };
         let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false]);
-        let mut rng = SimRng::new(1);
+        let mut sw_rng = SimRng::new(1);
         let mut admitted: Vec<u64> = Vec::new();
         for (i, &pr) in priorities.iter().enumerate() {
-            let r = sw.enqueue(pkt(i as u64, i as u32, pr), 0, &mut rng);
+            let fid = u32::try_from(i).expect("loop index fits u32");
+            let r = sw.enqueue(pkt(i as u64, fid, pr), 0, &mut sw_rng);
             match r.outcome {
                 EnqueueOutcome::Enqueued { .. } => {
                     admitted.push(pr);
@@ -175,36 +200,41 @@ proptest! {
                         // The displaced packet had the worst priority.
                         let pos = admitted.iter().position(|&x| x == d.priority).unwrap();
                         admitted.remove(pos);
-                        prop_assert!(d.priority >= pr);
+                        assert!(d.priority >= pr);
                     }
                 }
                 EnqueueOutcome::Dropped(_) => {
-                    prop_assert!(r.displaced.is_none());
+                    assert!(r.displaced.is_none());
                     // Arrival was no better than the resident worst.
                     let worst = admitted.iter().max().copied().unwrap_or(u64::MAX);
-                    prop_assert!(pr >= worst);
+                    assert!(pr >= worst);
                 }
-                EnqueueOutcome::Detoured { .. } => prop_assert!(false, "pFabric never detours"),
+                EnqueueOutcome::Detoured { .. } => panic!("pFabric never detours"),
             }
         }
-        // Drain: priorities come out sorted ascending (highest priority = smallest first).
+        // Drain: priorities come out sorted ascending (highest priority =
+        // smallest first).
         let mut out = Vec::new();
         while let Some(p) = sw.dequeue(0) {
             out.push(p.priority);
         }
         let mut sorted = out.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&out, &sorted, "pFabric dequeue must follow priority order");
+        assert_eq!(&out, &sorted, "pFabric dequeue must follow priority order");
         // And the set matches what we believed was admitted.
         let mut adm = admitted.clone();
         adm.sort_unstable();
-        prop_assert_eq!(adm, sorted);
-    }
+        assert_eq!(adm, sorted);
+    });
+}
 
-    /// ECN marking: with threshold K, exactly the packets that found >= K
-    /// packets already queued get marked (FIFO, single port, no DIBS).
-    #[test]
-    fn ecn_marks_match_threshold(n in 1usize..40, k in 1usize..20) {
+/// ECN marking: with threshold K, exactly the packets that found >= K
+/// packets already queued get marked (FIFO, single port, no DIBS).
+#[test]
+fn ecn_marks_match_threshold() {
+    cases_n("ecn-threshold", 64, |rng, _| {
+        let n = rng.below(39) + 1;
+        let k = rng.below(19) + 1;
         let cfg = SwitchConfig {
             buffer: BufferConfig::StaticPerPort { packets: 100 },
             ecn_threshold: Some(k),
@@ -213,9 +243,9 @@ proptest! {
             mark_detoured: false,
         };
         let mut sw = SwitchCore::new(NodeId(0), cfg, vec![false]);
-        let mut rng = SimRng::new(1);
+        let mut sw_rng = SimRng::new(1);
         for i in 0..n {
-            sw.enqueue(pkt(i as u64, 0, 1), 0, &mut rng);
+            sw.enqueue(pkt(i as u64, 0, 1), 0, &mut sw_rng);
         }
         let mut marked = 0;
         while let Some(p) = sw.dequeue(0) {
@@ -223,6 +253,6 @@ proptest! {
                 marked += 1;
             }
         }
-        prop_assert_eq!(marked, n.saturating_sub(k));
-    }
+        assert_eq!(marked, n.saturating_sub(k), "n={n} k={k}");
+    });
 }

@@ -423,6 +423,8 @@ impl TcpSender {
 
     fn make_segment(&mut self, seq: u64, now: SimTime, ids: &mut IdGen, rtx: bool) -> Packet {
         let remaining = self.size - seq;
+        // min() against the u32 MSS bounds the value below u32::MAX.
+        #[allow(clippy::cast_possible_truncation)]
         let len = remaining.min(u64::from(self.cfg.mss)) as u32;
         let mut pkt = Packet::data(
             ids.next(),

@@ -1,16 +1,16 @@
 //! Property-based transport tests: arbitrary loss, reordering, and marking
 //! patterns must never break delivery or state invariants.
 
+use dibs_engine::testkit::{cases_n, vec_of};
 use dibs_engine::time::{SimDuration, SimTime};
 use dibs_net::ids::{FlowId, HostId, PacketId};
 use dibs_net::packet::Packet;
 use dibs_transport::{IdGen, TcpConfig, TcpReceiver, TcpSender};
-use proptest::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Drives a sender/receiver pair over a lossy, jittery pipe described by
-/// deterministic per-packet decisions drawn from proptest.
+/// deterministic per-packet decision patterns.
 struct Channel {
     drop_pattern: Vec<bool>,
     jitter_pattern: Vec<u64>,
@@ -125,21 +125,20 @@ impl Channel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever the loss/reorder/mark pattern, the receiver either ends with
-    /// exactly `size` in-order bytes (if the sender completed) and never
-    /// more than `size`.
-    #[test]
-    fn delivery_is_exact_under_adversity(
-        size in 1u64..120_000,
-        drop_pattern in proptest::collection::vec(prop::bool::weighted(0.08), 8..40),
-        jitter in proptest::collection::vec(0u64..400, 4..16),
-        marks in proptest::collection::vec(any::<bool>(), 4..16),
-    ) {
+/// Whatever the loss/reorder/mark pattern, the receiver either ends with
+/// exactly `size` in-order bytes (if the sender completed) and never
+/// more than `size`.
+#[test]
+fn delivery_is_exact_under_adversity() {
+    cases_n("delivery-adversity", 48, |rng, _| {
+        let size = rng.range_u64(1, 120_000);
+        let mut drop_pattern = vec_of(rng, 8..40, |r| r.chance(0.08));
         // Guarantee progress: at least one packet per cycle gets through.
-        prop_assume!(drop_pattern.iter().any(|&d| !d));
+        if drop_pattern.iter().all(|&d| d) {
+            drop_pattern[0] = false;
+        }
+        let jitter = vec_of(rng, 4..16, |r| r.range_u64(0, 400));
+        let marks = vec_of(rng, 4..16, |r| r.chance(0.5));
         let ch = Channel {
             drop_pattern,
             jitter_pattern: jitter,
@@ -147,23 +146,24 @@ proptest! {
             max_steps: 300_000,
         };
         let (sender, receiver, _) = ch.run(TcpConfig::dctcp_dibs(), size);
-        prop_assert!(receiver.rcv_nxt() <= size);
+        assert!(receiver.rcv_nxt() <= size);
         if sender.is_complete() {
-            prop_assert_eq!(receiver.rcv_nxt(), size);
-            prop_assert!(receiver.is_complete());
+            assert_eq!(receiver.rcv_nxt(), size);
+            assert!(receiver.is_complete());
         }
         // Invariants that hold regardless of completion.
-        prop_assert!(sender.cwnd() >= 1460.0);
-        prop_assert!((0.0..=1.0).contains(&sender.alpha()));
-    }
+        assert!(sender.cwnd() >= 1460.0);
+        assert!((0.0..=1.0).contains(&sender.alpha()));
+    });
+}
 
-    /// With zero loss, every configuration completes, regardless of
-    /// reordering, and the DIBS-tuned config never takes a timeout.
-    #[test]
-    fn lossless_reordering_completes(
-        size in 1u64..200_000,
-        jitter in proptest::collection::vec(0u64..800, 4..16),
-    ) {
+/// With zero loss, every configuration completes, regardless of
+/// reordering, and the DIBS-tuned config never takes a timeout.
+#[test]
+fn lossless_reordering_completes() {
+    cases_n("lossless-reorder", 48, |rng, _| {
+        let size = rng.range_u64(1, 200_000);
+        let jitter = vec_of(rng, 4..16, |r| r.range_u64(0, 800));
         for (cfg, expect_no_timeouts) in [
             (TcpConfig::dctcp_dibs(), true),
             (TcpConfig::dctcp_baseline(), true),
@@ -176,19 +176,23 @@ proptest! {
                 max_steps: 300_000,
             };
             let (sender, receiver, _) = ch.run(cfg, size);
-            prop_assert!(sender.is_complete(), "cfg {cfg:?} stalled");
-            prop_assert_eq!(receiver.rcv_nxt(), size);
+            assert!(sender.is_complete(), "cfg {cfg:?} stalled");
+            assert_eq!(receiver.rcv_nxt(), size);
             if expect_no_timeouts {
-                prop_assert_eq!(sender.counters().timeouts, 0);
+                assert_eq!(sender.counters().timeouts, 0);
             }
         }
-    }
+    });
+}
 
-    /// Marking every packet drives alpha to 1 and pins cwnd at the floor;
-    /// marking none decays alpha, for any flow size that spans multiple
-    /// windows.
-    #[test]
-    fn alpha_extremes(all_marked in any::<bool>(), size in 500_000u64..2_000_000) {
+/// Marking every packet drives alpha to 1 and pins cwnd at the floor;
+/// marking none decays alpha, for any flow size that spans multiple
+/// windows.
+#[test]
+fn alpha_extremes() {
+    cases_n("alpha-extremes", 24, |rng, i| {
+        let all_marked = i % 2 == 0;
+        let size = rng.range_u64(500_000, 2_000_000);
         let ch = Channel {
             drop_pattern: vec![false],
             jitter_pattern: vec![0],
@@ -196,14 +200,14 @@ proptest! {
             max_steps: 300_000,
         };
         let (sender, _, _) = ch.run(TcpConfig::dctcp_dibs(), size);
-        prop_assert!(sender.is_complete());
+        assert!(sender.is_complete());
         if all_marked {
-            prop_assert!(sender.alpha() > 0.5, "alpha {}", sender.alpha());
+            assert!(sender.alpha() > 0.5, "alpha {}", sender.alpha());
         } else {
             // Unmarked flows finish within a handful of slow-start windows,
             // so alpha (initialized to 1, EWMA gain 1/16) only decays a
             // step per window — require clear movement, not convergence.
-            prop_assert!(sender.alpha() < 0.8, "alpha {}", sender.alpha());
+            assert!(sender.alpha() < 0.8, "alpha {}", sender.alpha());
         }
-    }
+    });
 }

@@ -51,6 +51,9 @@ impl BackgroundTraffic {
                 if dst >= src {
                     dst += 1;
                 }
+                // Sampled sizes are bounded far below u64::MAX by the
+                // workload distributions; max(1.0) also rules out zero.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let size = self.sizes.sample(rng).round().max(1.0) as u64;
                 flows.push(FlowSpec {
                     start: SimTime::from_secs_f64(t),

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run everything CI would, in the order that fails fastest.
+#
+#   scripts/check.sh          # the whole gate
+#   scripts/check.sh --quick  # skip the test suite (format/lint only)
+#
+# Every command is hermetic: no network, no external toolchain beyond the
+# pinned rustc. A clean exit here is the bar for opening a PR.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> dibs-lint (simulation-safety static analysis)"
+cargo run -q -p dibs-lint --offline -- crates
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo test --workspace"
+    cargo test --workspace --offline -q
+fi
+
+echo "==> all checks passed"

@@ -1,8 +1,10 @@
 //! Property-based cross-crate tests: random small topologies and traffic
-//! must satisfy the simulator's global invariants.
+//! must satisfy the simulator's global invariants. Driven by the
+//! deterministic harness in `dibs_engine::testkit`.
 
 use dibs::{SimConfig, Simulation};
 use dibs_engine::rng::SimRng;
+use dibs_engine::testkit::cases_n;
 use dibs_engine::time::SimTime;
 use dibs_net::builders::{
     dumbbell, fat_tree, jellyfish, single_switch, FatTreeParams, JellyfishParams,
@@ -11,24 +13,24 @@ use dibs_net::ids::HostId;
 use dibs_net::topology::{LinkSpec, Topology};
 use dibs_switch::DibsPolicy;
 use dibs_workload::{FlowClass, FlowSpec};
-use proptest::prelude::*;
 
 /// A small random topology drawn from the generator family.
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (4usize..10).prop_map(|n| single_switch(n, LinkSpec::gbit(1))),
-        Just(fat_tree(FatTreeParams {
+fn gen_topology(rng: &mut SimRng) -> Topology {
+    match rng.below(4) {
+        0 => single_switch(rng.below(6) + 4, LinkSpec::gbit(1)),
+        1 => fat_tree(FatTreeParams {
             k: 4,
             ..FatTreeParams::paper_default()
-        })),
-        (2usize..5, 2usize..5).prop_map(|(l, r)| dumbbell(
-            l,
-            r,
+        }),
+        2 => dumbbell(
+            rng.below(3) + 2,
+            rng.below(3) + 2,
             LinkSpec::gbit(1),
-            LinkSpec::gbit(5)
-        )),
-        (0u64..1000).prop_map(|seed| {
-            let mut rng = SimRng::new(seed);
+            LinkSpec::gbit(5),
+        ),
+        _ => {
+            let seed = rng.range_u64(0, 1000);
+            let mut jelly_rng = SimRng::new(seed);
             jellyfish(
                 JellyfishParams {
                     switches: 8,
@@ -37,39 +39,36 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                     host_link: LinkSpec::gbit(1),
                     fabric_link: LinkSpec::gbit(1),
                 },
-                &mut rng,
+                &mut jelly_rng,
             )
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Conservation: every completed flow delivered exactly its size; no
-    /// flow over-delivers; and with DIBS enabled on these mild workloads
-    /// drops stay at zero while flows all complete.
-    #[test]
-    fn flows_conserve_bytes(
-        topo in arb_topology(),
-        seed in 0u64..10_000,
-        n_flows in 1usize..12,
-        size in 1u64..200_000,
-    ) {
+/// Conservation: every completed flow delivered exactly its size; no
+/// flow over-delivers; and with DIBS enabled on these mild workloads
+/// drops stay at zero while flows all complete.
+#[test]
+fn flows_conserve_bytes() {
+    cases_n("flows-conserve", 12, |rng, _| {
+        let topo = gen_topology(rng);
+        let seed = rng.range_u64(0, 10_000);
+        let n_flows = rng.below(11) + 1;
+        let size = rng.range_u64(1, 200_000);
         let hosts = topo.num_hosts();
-        prop_assume!(hosts >= 2);
+        assert!(hosts >= 2, "generator produced a degenerate topology");
         let mut cfg = SimConfig::dctcp_dibs().with_seed(seed);
         cfg.horizon = SimTime::from_secs(4);
         let mut sim = Simulation::new(topo, cfg);
-        let mut rng = SimRng::new(seed);
+        let mut flow_rng = SimRng::new(seed);
         for _ in 0..n_flows {
-            let src = rng.below(hosts);
-            let mut dst = rng.below(hosts - 1);
+            let src = flow_rng.below(hosts);
+            let mut dst = flow_rng.below(hosts - 1);
             if dst >= src {
                 dst += 1;
             }
             sim.add_flows([FlowSpec {
-                start: SimTime::from_micros(rng.range_u64(0, 3000)),
+                start: SimTime::from_micros(flow_rng.range_u64(0, 3000)),
                 src: HostId::from_index(src),
                 dst: HostId::from_index(dst),
                 size,
@@ -78,28 +77,28 @@ proptest! {
         }
         let results = sim.run();
         for f in &results.flows {
-            prop_assert!(f.bytes_delivered <= f.size, "over-delivery");
-            prop_assert!(f.fct.is_some(), "flow did not complete");
-            prop_assert_eq!(f.bytes_delivered, f.size);
+            assert!(f.bytes_delivered <= f.size, "over-delivery");
+            assert!(f.fct.is_some(), "flow did not complete");
+            assert_eq!(f.bytes_delivered, f.size);
         }
         // Histogram mass equals delivered packet count.
         let hist: u64 = results.detour_histogram.iter().sum();
-        prop_assert_eq!(hist, results.counters.packets_delivered);
-    }
+        assert_eq!(hist, results.counters.packets_delivered);
+    });
+}
 
-    /// Determinism across policies: running twice with the same seed gives
-    /// identical event counts and counters, for every detour policy.
-    #[test]
-    fn determinism_for_every_policy(
-        seed in 0u64..1000,
-        policy_idx in 0usize..4,
-    ) {
+/// Determinism across policies: running twice with the same seed gives
+/// identical event counts and counters, for every detour policy.
+#[test]
+fn determinism_for_every_policy() {
+    cases_n("determinism-policies", 8, |rng, i| {
+        let seed = rng.range_u64(0, 1000);
         let policy = [
             DibsPolicy::Disabled,
             DibsPolicy::Random,
             DibsPolicy::LoadAware,
             DibsPolicy::FlowBased,
-        ][policy_idx];
+        ][i % 4];
         let run = || {
             let topo = single_switch(6, LinkSpec::gbit(1));
             let mut cfg = SimConfig::dctcp_dibs().with_policy(policy).with_seed(seed);
@@ -119,15 +118,18 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-    }
+        assert_eq!(a.0, b.0, "policy {policy:?} seed {seed}");
+        assert_eq!(a.1, b.1, "policy {policy:?} seed {seed}");
+    });
+}
 
-    /// Packet-level sanity under congestion: sent >= delivered, and the
-    /// difference is fully explained by drops plus packets still in flight
-    /// at the horizon (zero here, since flows complete).
-    #[test]
-    fn packet_accounting_balances(seed in 0u64..1000) {
+/// Packet-level sanity under congestion: sent >= delivered, and the
+/// difference is fully explained by drops plus packets still in flight
+/// at the horizon (zero here, since flows complete).
+#[test]
+fn packet_accounting_balances() {
+    cases_n("packet-accounting", 8, |rng, _| {
+        let seed = rng.range_u64(0, 1000);
         let topo = single_switch(8, LinkSpec::gbit(1));
         let mut cfg = SimConfig::dctcp_baseline().with_seed(seed);
         cfg.horizon = SimTime::from_secs(4);
@@ -142,11 +144,11 @@ proptest! {
             }]);
         }
         let r = sim.run();
-        prop_assert!(r.flows.iter().all(|f| f.fct.is_some()));
-        prop_assert_eq!(
+        assert!(r.flows.iter().all(|f| f.fct.is_some()));
+        assert_eq!(
             r.counters.packets_sent,
             r.counters.packets_delivered + r.counters.total_drops(),
             "sent = delivered + dropped once the network drains"
         );
-    }
+    });
 }
