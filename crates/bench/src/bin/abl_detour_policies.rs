@@ -7,8 +7,8 @@
 //! parameterless random detouring captures nearly all of the benefit.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::Harness;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::{ExperimentRecord, SeriesPoint};
 use dibs_switch::DibsPolicy;
@@ -33,11 +33,18 @@ fn main() {
         ("prob85", DibsPolicy::Probabilistic { onset: 0.85 }),
     ];
     let wl0 = h.workload();
-    let points = parallel_map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+    let master = h.master_seed;
+    let points = h.executor().map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+        // Every policy arm at a point sees identical traffic.
+        // Sweep points are whole qps values well under 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let point = qps as u64;
+        let seed =
+            RunDescriptor::new("abl_detour_policies", "paired", point, 0).paired_seed(master);
         let wl = MixedWorkload { qps, ..wl0 };
         let mut point = SeriesPoint::at(qps);
         for (name, policy) in policies {
-            let cfg = SimConfig::dctcp_dibs().with_policy(policy);
+            let cfg = SimConfig::dctcp_dibs().with_policy(policy).with_seed(seed);
             let mut r = mixed_workload_sim(FatTreeParams::paper_default(), cfg, wl).run();
             point = point
                 .with(

@@ -7,8 +7,8 @@
 //! flow-level ECMP + DIBS.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::{EcmpMode, SimConfig};
-use dibs_bench::{parallel_map, Harness};
+use dibs::{EcmpMode, RunDescriptor, SimConfig};
+use dibs_bench::Harness;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::{ExperimentRecord, SeriesPoint};
 use dibs_transport::FastRetransmit;
@@ -26,18 +26,24 @@ fn main() {
         .param("duration_ms", h.scale.duration().as_millis_f64());
 
     let wl0 = h.workload();
-    let points = parallel_map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+    let master = h.master_seed;
+    let points = h.executor().map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+        // Sweep points are whole qps values well under 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let point = qps as u64;
+        let seed = RunDescriptor::new("abl_ecmp", "paired", point, 0).paired_seed(master);
         let wl = MixedWorkload { qps, ..wl0 };
         let tree = FatTreeParams::paper_default();
 
-        let mut flow_ecmp = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
+        let mut flow_ecmp =
+            mixed_workload_sim(tree, SimConfig::dctcp_baseline().with_seed(seed), wl).run();
         // Packet spraying reorders, so give it the same dupack forbearance
         // DIBS gets.
-        let mut spray_cfg = SimConfig::dctcp_baseline();
+        let mut spray_cfg = SimConfig::dctcp_baseline().with_seed(seed);
         spray_cfg.ecmp = EcmpMode::PacketLevel;
         spray_cfg.tcp.fast_retransmit = FastRetransmit::Disabled;
         let mut spray = mixed_workload_sim(tree, spray_cfg, wl).run();
-        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs().with_seed(seed), wl).run();
 
         SeriesPoint::at(qps)
             .with(

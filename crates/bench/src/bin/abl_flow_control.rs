@@ -8,8 +8,8 @@
 //! droptail vs PFC vs DIBS.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::{PfcConfig, SimConfig};
-use dibs_bench::{parallel_map, Harness};
+use dibs::{PfcConfig, RunDescriptor, SimConfig};
+use dibs_bench::Harness;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::{ExperimentRecord, SeriesPoint};
 
@@ -28,15 +28,21 @@ fn main() {
         .param("duration_ms", h.scale.duration().as_millis_f64());
 
     let wl0 = h.workload();
-    let points = parallel_map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+    let master = h.master_seed;
+    let points = h.executor().map(vec![300.0f64, 1000.0, 2000.0], |qps| {
+        // Sweep points are whole qps values well under 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let point = qps as u64;
+        let seed = RunDescriptor::new("abl_flow_control", "paired", point, 0).paired_seed(master);
         let wl = MixedWorkload { qps, ..wl0 };
         let tree = FatTreeParams::paper_default();
 
-        let mut droptail = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
-        let mut pfc_cfg = SimConfig::dctcp_baseline();
+        let mut droptail =
+            mixed_workload_sim(tree, SimConfig::dctcp_baseline().with_seed(seed), wl).run();
+        let mut pfc_cfg = SimConfig::dctcp_baseline().with_seed(seed);
         pfc_cfg.pfc = Some(PfcConfig::default_for_paper_buffers());
         let mut pfc = mixed_workload_sim(tree, pfc_cfg, wl).run();
-        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs().with_seed(seed), wl).run();
 
         SeriesPoint::at(qps)
             .with(

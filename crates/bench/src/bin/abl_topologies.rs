@@ -6,7 +6,7 @@
 //! incast-over-background workload on comparable instances of each family
 //! and reports the DCTCP-vs-DIBS gap.
 
-use dibs::{SimConfig, Simulation};
+use dibs::{RunDescriptor, SimConfig, Simulation};
 use dibs_bench::Harness;
 use dibs_engine::rng::SimRng;
 use dibs_engine::time::SimDuration;
@@ -88,32 +88,39 @@ fn main() {
         .param("response_kb", 20)
         .param("duration_ms", h.scale.duration().as_millis_f64());
 
-    for (i, name) in ["fat_tree_k8", "jellyfish", "hyperx_4x4", "linear_x8"]
-        .iter()
-        .enumerate()
-    {
-        let mut base = run(
-            build(name),
-            SimConfig::dctcp_baseline(),
-            h.scale.duration(),
-            h.scale.drain(),
-        );
-        let mut dibs = run(
-            build(name),
-            SimConfig::dctcp_dibs(),
-            h.scale.duration(),
-            h.scale.drain(),
-        );
-        rec.param(&format!("topology_{i}"), *name);
-        rec.push(
+    let names = ["fat_tree_k8", "jellyfish", "hyperx_4x4", "linear_x8"];
+    let scale = h.scale;
+    let master = h.master_seed;
+    let points = h
+        .executor()
+        .map(names.iter().enumerate().collect(), |(i, name)| {
+            let seed =
+                RunDescriptor::new("abl_topologies", "paired", i as u64, 0).paired_seed(master);
+            let mut base = run(
+                build(name),
+                SimConfig::dctcp_baseline().with_seed(seed),
+                scale.duration(),
+                scale.drain(),
+            );
+            let mut dibs = run(
+                build(name),
+                SimConfig::dctcp_dibs().with_seed(seed),
+                scale.duration(),
+                scale.drain(),
+            );
             SeriesPoint::at(i as f64)
                 .with("qct_p99_ms_dctcp", base.qct_p99_ms().unwrap_or(f64::NAN))
                 .with("qct_p99_ms_dibs", dibs.qct_p99_ms().unwrap_or(f64::NAN))
                 .with("drops_dctcp", base.counters.total_drops() as f64)
                 .with("drops_dibs", dibs.counters.total_drops() as f64)
                 .with("detours_dibs", dibs.counters.detours as f64)
-                .with("qct_done_frac_dibs", dibs.query_completion_rate()),
-        );
+                .with("qct_done_frac_dibs", dibs.query_completion_rate())
+        });
+    for (i, name) in names.iter().enumerate() {
+        rec.param(&format!("topology_{i}"), *name);
+    }
+    for p in points {
+        rec.push(p);
     }
     h.finish(&rec);
 }

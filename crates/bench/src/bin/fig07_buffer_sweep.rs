@@ -5,8 +5,8 @@
 //! advantage over plain DCTCP grows as buffers shrink.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::Harness;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::{ExperimentRecord, SeriesPoint};
 use dibs_switch::BufferConfig;
@@ -26,13 +26,17 @@ fn main() {
 
     let sweep = [25usize, 100, 300, 500, 700];
     let base_wl = h.workload();
-    let points = parallel_map(sweep.to_vec(), |pkts| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |pkts| {
+        // All three arms at a point share a paired seed: identical traffic.
+        let seed =
+            RunDescriptor::new("fig07_buffer_sweep", "paired", pkts as u64, 0).paired_seed(master);
         let wl = MixedWorkload { ..base_wl };
         let tree = FatTreeParams::paper_default();
         let sized = |mut cfg: SimConfig| {
             cfg.switch.buffer = BufferConfig::StaticPerPort { packets: pkts };
             cfg.switch.ecn_threshold = Some(20.min(pkts.saturating_sub(1).max(1)));
-            cfg
+            cfg.with_seed(seed)
         };
         let mut dctcp = mixed_workload_sim(tree, sized(SimConfig::dctcp_baseline()), wl).run();
         let mut dibs = mixed_workload_sim(tree, sized(SimConfig::dctcp_dibs()), wl).run();

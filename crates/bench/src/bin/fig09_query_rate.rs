@@ -8,8 +8,8 @@
 //! background flows start losing packets to query bursts.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::{baseline_vs_dibs_point, Harness};
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::ExperimentRecord;
 
@@ -27,11 +27,17 @@ fn main() {
 
     let sweep = [300.0f64, 500.0, 1000.0, 1500.0, 2000.0];
     let base_wl = h.workload();
-    let points = parallel_map(sweep.to_vec(), |qps| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |qps| {
+        // Sweep points are whole qps values well under 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let point = qps as u64;
+        let seed = RunDescriptor::new("fig09_query_rate", "paired", point, 0).paired_seed(master);
         let wl = MixedWorkload { qps, ..base_wl };
         let tree = FatTreeParams::paper_default();
-        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
-        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        let mut base =
+            mixed_workload_sim(tree, SimConfig::dctcp_baseline().with_seed(seed), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs().with_seed(seed), wl).run();
         baseline_vs_dibs_point(qps, &mut base, &mut dibs)
     });
     for p in points {

@@ -9,8 +9,8 @@
 //! packets take 40+ detours.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::{baseline_vs_dibs_point, Harness};
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::ExperimentRecord;
 
@@ -28,14 +28,18 @@ fn main() {
 
     let sweep = [40usize, 60, 80, 100];
     let base_wl = h.workload();
-    let points = parallel_map(sweep.to_vec(), |deg| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |deg| {
+        let seed =
+            RunDescriptor::new("fig11_incast_degree", "paired", deg as u64, 0).paired_seed(master);
         let wl = MixedWorkload {
             incast_degree: deg,
             ..base_wl
         };
         let tree = FatTreeParams::paper_default();
-        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
-        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        let mut base =
+            mixed_workload_sim(tree, SimConfig::dctcp_baseline().with_seed(seed), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs().with_seed(seed), wl).run();
 
         baseline_vs_dibs_point(deg as f64, &mut base, &mut dibs)
             .with("dibs_frac_40plus_detours", dibs.detoured_at_least(40))

@@ -6,8 +6,8 @@
 //! (where DCTCP drops constantly) and the two converge at large buffers.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::{baseline_vs_dibs_point, Harness};
 use dibs_engine::time::SimDuration;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::ExperimentRecord;
@@ -29,7 +29,10 @@ fn main() {
     // The ECN threshold must fit inside the buffer at small sizes.
     let sweep = [1usize, 5, 10, 25, 40, 100, 200];
     let scale = h.scale;
-    let points = parallel_map(sweep.to_vec(), |pkts| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |pkts| {
+        let seed =
+            RunDescriptor::new("fig12_buffer_size", "paired", pkts as u64, 0).paired_seed(master);
         let wl = MixedWorkload {
             bg_interarrival: SimDuration::from_millis(10),
             duration: scale.heavy_duration(),
@@ -41,7 +44,7 @@ fn main() {
             cfg.switch.buffer = BufferConfig::StaticPerPort { packets: pkts };
             // Keep the DCTCP marking threshold below the buffer limit.
             cfg.switch.ecn_threshold = Some(20.min(pkts.saturating_sub(1).max(1)));
-            cfg
+            cfg.with_seed(seed)
         };
         let mut base = mixed_workload_sim(tree, configure(SimConfig::dctcp_baseline()), wl).run();
         let mut dibs = mixed_workload_sim(tree, configure(SimConfig::dctcp_dibs()), wl).run();

@@ -11,8 +11,8 @@
 //! only to die anyway.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::{baseline_vs_dibs_point, Harness};
 use dibs_engine::time::SimDuration;
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::ExperimentRecord;
@@ -28,7 +28,9 @@ fn main() {
 
     let sweep = [12u8, 24, 36, 48, 255];
     let scale = h.scale;
-    let points = parallel_map(sweep.to_vec(), |ttl| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |ttl| {
+        let seed = RunDescriptor::new("fig13_ttl", "paired", u64::from(ttl), 0).paired_seed(master);
         let wl = MixedWorkload {
             bg_interarrival: SimDuration::from_millis(10),
             duration: scale.heavy_duration(),
@@ -38,7 +40,7 @@ fn main() {
         let tree = FatTreeParams::paper_default();
         let configure = |mut cfg: SimConfig| {
             cfg.tcp.initial_ttl = ttl;
-            cfg
+            cfg.with_seed(seed)
         };
         let mut base = mixed_workload_sim(tree, configure(SimConfig::dctcp_baseline()), wl).run();
         let mut dibs = mixed_workload_sim(tree, configure(SimConfig::dctcp_dibs()), wl).run();

@@ -8,8 +8,8 @@
 //! dropping. Below the tipping point DIBS still wins.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
-use dibs_bench::{baseline_vs_dibs_point, parallel_map, Harness};
+use dibs::{RunDescriptor, SimConfig};
+use dibs_bench::{baseline_vs_dibs_point, Harness};
 use dibs_net::builders::FatTreeParams;
 use dibs_stats::ExperimentRecord;
 
@@ -27,7 +27,12 @@ fn main() {
 
     let sweep = [6000.0f64, 8000.0, 10000.0, 12000.0, 14000.0];
     let scale = h.scale;
-    let points = parallel_map(sweep.to_vec(), |qps| {
+    let master = h.master_seed;
+    let points = h.executor().map(sweep.to_vec(), |qps| {
+        // Sweep points are whole qps values well under 2^53.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let point = qps as u64;
+        let seed = RunDescriptor::new("fig14_extreme_qps", "paired", point, 0).paired_seed(master);
         let wl = MixedWorkload {
             qps,
             duration: scale.heavy_duration(),
@@ -36,8 +41,9 @@ fn main() {
             ..MixedWorkload::paper_default()
         };
         let tree = FatTreeParams::paper_default();
-        let mut base = mixed_workload_sim(tree, SimConfig::dctcp_baseline(), wl).run();
-        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs(), wl).run();
+        let mut base =
+            mixed_workload_sim(tree, SimConfig::dctcp_baseline().with_seed(seed), wl).run();
+        let mut dibs = mixed_workload_sim(tree, SimConfig::dctcp_dibs().with_seed(seed), wl).run();
         baseline_vs_dibs_point(qps, &mut base, &mut dibs)
             .with("qct_done_frac_dctcp", base.query_completion_rate())
             .with("qct_done_frac_dibs", dibs.query_completion_rate())

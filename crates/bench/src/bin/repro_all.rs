@@ -1,5 +1,8 @@
-//! Runs every figure/table binary in sequence (same process), writing all
-//! records under `results/`. Use `--quick` for a fast smoke pass.
+//! Runs every figure/table binary, writing all records under `results/`.
+//! Binaries run in parallel across `--jobs N` workers (default: all cores);
+//! each child's output is captured and printed in the fixed table order
+//! below, so the transcript is identical regardless of scheduling. Use
+//! `--quick` for a fast smoke pass.
 //!
 //! This is the one-command regeneration entry point referenced by
 //! EXPERIMENTS.md:
@@ -8,8 +11,10 @@
 //! cargo run -p dibs-bench --release --bin repro_all            # default scale
 //! cargo run -p dibs-bench --release --bin repro_all -- --quick # smoke
 //! cargo run -p dibs-bench --release --bin repro_all -- --full  # paper-length
+//! cargo run -p dibs-bench --release --bin repro_all -- --jobs 8
 //! ```
 
+use dibs_harness::Executor;
 use std::process::Command;
 use std::time::Instant;
 
@@ -39,43 +44,78 @@ const BINS: &[&str] = &[
     "abl_ecmp",
 ];
 
+/// Outcome of one child binary, replayed in table order after the sweep.
+struct BinRun {
+    bin: &'static str,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    verdict: Result<f64, String>,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = dibs_harness::take_jobs_flag(&mut args)
+        .or_else(dibs_harness::env_jobs)
+        .unwrap_or_else(dibs_harness::default_jobs);
     let exe_dir = std::env::current_exe()
         .expect("own path")
         .parent()
         .expect("bin dir")
         .to_path_buf();
     let total = Instant::now();
-    let mut failures = Vec::new();
-    for bin in BINS {
+
+    let runs = Executor::new(jobs).map(BINS.to_vec(), |bin| {
         let path = exe_dir.join(bin);
-        println!("\n=== {bin} ===");
         let started = Instant::now();
-        let status = Command::new(&path).args(&args).status();
-        match status {
-            Ok(s) if s.success() => {
-                println!(
-                    "=== {bin} done in {:.1?}s ===",
-                    started.elapsed().as_secs_f64()
-                );
-            }
-            Ok(s) => {
-                eprintln!("=== {bin} FAILED: {s} ===");
-                failures.push(*bin);
-            }
-            Err(e) => {
-                eprintln!(
-                    "=== {bin} could not start ({e}); build all bins first: \
-                     cargo build -p dibs-bench --release --bins ==="
-                );
-                failures.push(*bin);
+        let mut cmd = Command::new(&path);
+        cmd.args(&args);
+        if jobs > 1 {
+            // Figure binaries already run one-per-worker here; nested
+            // parallelism would oversubscribe the host.
+            cmd.env(dibs_harness::JOBS_ENV, "1");
+        }
+        match cmd.output() {
+            Ok(out) if out.status.success() => BinRun {
+                bin,
+                stdout: out.stdout,
+                stderr: out.stderr,
+                verdict: Ok(started.elapsed().as_secs_f64()),
+            },
+            Ok(out) => BinRun {
+                bin,
+                stdout: out.stdout,
+                stderr: out.stderr,
+                verdict: Err(format!("FAILED: {}", out.status)),
+            },
+            Err(e) => BinRun {
+                bin,
+                stdout: Vec::new(),
+                stderr: Vec::new(),
+                verdict: Err(format!(
+                    "could not start ({e}); build all bins first: \
+                     cargo build -p dibs-bench --release --bins"
+                )),
+            },
+        }
+    });
+
+    let mut failures = Vec::new();
+    for run in runs {
+        println!("\n=== {} ===", run.bin);
+        print!("{}", String::from_utf8_lossy(&run.stdout));
+        eprint!("{}", String::from_utf8_lossy(&run.stderr));
+        match run.verdict {
+            Ok(secs) => println!("=== {} done in {secs:.1}s ===", run.bin),
+            Err(why) => {
+                eprintln!("=== {} {why} ===", run.bin);
+                failures.push(run.bin);
             }
         }
     }
     println!(
-        "\nAll experiments finished in {:.1}s; {} failures{}",
+        "\nAll experiments finished in {:.1}s with {} jobs; {} failures{}",
         total.elapsed().as_secs_f64(),
+        jobs,
         failures.len(),
         if failures.is_empty() {
             String::new()

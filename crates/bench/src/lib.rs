@@ -18,8 +18,14 @@ pub mod timing;
 use dibs::presets::MixedWorkload;
 use dibs::RunResults;
 use dibs_engine::time::SimDuration;
+use dibs_harness::Executor;
 use dibs_stats::{ExperimentRecord, SeriesPoint};
 use std::path::PathBuf;
+
+/// Master seed used by the sweep binaries unless `--seed` / `DIBS_SEED`
+/// overrides it. Every run derives its own stream from this via its
+/// `dibs::RunDescriptor`, so one number pins the whole suite.
+pub const DEFAULT_MASTER_SEED: u64 = 0xD1B5_2014;
 
 /// How long the traffic windows run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +75,11 @@ pub struct Harness {
     pub scale: Scale,
     /// Where JSON records land.
     pub out_dir: PathBuf,
+    /// Worker threads for the sweep executor (`--jobs` / `DIBS_JOBS`).
+    pub jobs: usize,
+    /// Master seed for run-descriptor stream derivation (`--seed` /
+    /// `DIBS_SEED`).
+    pub master_seed: u64,
 }
 
 impl Default for Harness {
@@ -78,27 +89,60 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// Builds a harness from argv (`--quick` / `--full`) and `DIBS_SCALE`.
+    /// Builds a harness from argv (`--quick` / `--full` / `--jobs N` /
+    /// `--seed N`) and the `DIBS_SCALE` / `DIBS_JOBS` / `DIBS_SEED`
+    /// environment variables (argv wins).
     pub fn from_env() -> Self {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let jobs = dibs_harness::take_jobs_flag(&mut args)
+            .or_else(dibs_harness::env_jobs)
+            .unwrap_or_else(dibs_harness::default_jobs);
+
         let mut scale = match std::env::var("DIBS_SCALE").as_deref() {
             Ok("quick") => Scale::Quick,
             Ok("full") => Scale::Full,
             _ => Scale::Default,
         };
-        for arg in std::env::args().skip(1) {
-            match arg.as_str() {
+        let mut master_seed = std::env::var("DIBS_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_MASTER_SEED);
+
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
                 "--quick" => scale = Scale::Quick,
                 "--full" => scale = Scale::Full,
                 "--default" => scale = Scale::Default,
+                "--seed" if i + 1 < args.len() => {
+                    if let Ok(s) = args[i + 1].parse::<u64>() {
+                        master_seed = s;
+                    }
+                    i += 1;
+                }
                 other => {
-                    eprintln!("warning: unrecognized argument `{other}` (expected --quick/--full)");
+                    eprintln!(
+                        "warning: unrecognized argument `{other}` \
+                         (expected --quick/--full/--jobs N/--seed N)"
+                    );
                 }
             }
+            i += 1;
         }
         let out_dir = std::env::var("DIBS_RESULTS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
-        Harness { scale, out_dir }
+        Harness {
+            scale,
+            out_dir,
+            jobs,
+            master_seed,
+        }
+    }
+
+    /// The deterministic sweep executor at this harness's `--jobs` width.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
     }
 
     /// The mixed-workload defaults at this scale (Table 2 bold values).
@@ -132,40 +176,19 @@ impl Harness {
     }
 }
 
-/// Runs `f` over `items`, using scoped threads when more than one core is
-/// available; preserves input order.
+/// Runs `f` over `items` through the deterministic sweep executor
+/// ([`dibs_harness::Executor::from_env`]); preserves input order.
+///
+/// Prefer [`Harness::executor`] in new code so `--jobs` is honored; this
+/// free function exists for binaries that have no `Harness` in scope and
+/// obeys `DIBS_JOBS` only.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if cores <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let results = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|s| {
-        for _ in 0..cores.min(n) {
-            s.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
-                match item {
-                    Some((i, t)) => {
-                        let r = f(t);
-                        results.lock().expect("results lock")[i] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    slots.into_iter().map(|r| r.expect("slot filled")).collect()
+    Executor::from_env().map(items, f)
 }
 
 /// Extracts the standard pair of paper metrics from a finished run:
@@ -219,6 +242,8 @@ mod finish_tests {
         let h = Harness {
             scale: Scale::Quick,
             out_dir: dir.clone(),
+            jobs: 1,
+            master_seed: DEFAULT_MASTER_SEED,
         };
         let mut rec = ExperimentRecord::new("unit_test_record", "t", "x");
         rec.push(SeriesPoint::at(1.0).with("m", 2.0));

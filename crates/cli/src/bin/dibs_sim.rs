@@ -1,27 +1,38 @@
-//! `dibs-sim`: run a JSON scenario through the DIBS simulator.
+//! `dibs-sim`: run JSON scenarios through the DIBS simulator.
 //!
 //! ```text
-//! Usage: dibs-sim [OPTIONS] <scenario.json>
+//! Usage: dibs-sim [OPTIONS] <scenario.json>...
 //!
 //! Options:
 //!   --json        emit a JSON report instead of text
-//!   --compare     run the scenario under dctcp, dctcp_dibs, and pfabric
-//!   --seed <N>    override the scenario's seed
+//!   --compare     run each scenario under dctcp, dctcp_dibs, and pfabric
+//!   --seed <N>    override the scenarios' seed
+//!   --jobs <N>    worker threads for independent runs (default: all cores)
 //!   --help        show this message
 //! ```
+//!
+//! Independent runs (each scenario file × scheme) fan out across the
+//! deterministic sweep executor; reports are printed in argument order, so
+//! output is identical for every `--jobs` value.
 
 use dibs_cli::{Report, Scenario, Scheme};
+use dibs_harness::Executor;
 use std::process::ExitCode;
 
-const USAGE: &str = "Usage: dibs-sim [--json] [--compare] [--seed N] <scenario.json>";
+const USAGE: &str = "Usage: dibs-sim [--json] [--compare] [--seed N] [--jobs N] <scenario.json>...";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut compare = false;
     let mut seed: Option<u64> = None;
-    let mut path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = dibs_harness::take_jobs_flag(&mut raw)
+        .or_else(dibs_harness::env_jobs)
+        .unwrap_or_else(dibs_harness::default_jobs);
+
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
@@ -41,78 +52,110 @@ fn main() -> ExitCode {
                 eprintln!("unknown option `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
-            other => {
-                if path.replace(other.to_string()).is_some() {
-                    eprintln!("multiple scenario files given\n{USAGE}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            other => paths.push(other.to_string()),
         }
     }
-    let Some(path) = path else {
+    if paths.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
-    };
+    }
+    let many_files = paths.len() > 1;
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+    // Parse every scenario up front so bad input fails before any run.
+    let mut runs: Vec<(String, Scenario, Scheme)> = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut scenario = match Scenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(s) = seed {
+            scenario.seed = s;
         }
-    };
-    let mut scenario = match Scenario::from_json(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+        let schemes: Vec<Scheme> = if compare {
+            vec![Scheme::Dctcp, Scheme::DctcpDibs, Scheme::Pfabric]
+        } else {
+            vec![scenario.scheme]
+        };
+        for scheme in schemes {
+            runs.push((path.clone(), scenario.clone(), scheme));
         }
-    };
-    if let Some(s) = seed {
-        scenario.seed = s;
     }
 
-    let schemes: Vec<Scheme> = if compare {
-        vec![Scheme::Dctcp, Scheme::DctcpDibs, Scheme::Pfabric]
-    } else {
-        vec![scenario.scheme]
-    };
-
-    let mut reports = Vec::new();
-    for scheme in schemes {
+    // Each (file, scheme) run is independent; fan out and report in input
+    // order.
+    let outcomes = Executor::new(jobs).map(runs, |(path, mut scenario, scheme)| {
         scenario.scheme = scheme;
         let sim = match scenario.build() {
             Ok(sim) => sim,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return (path, scheme, Err(e)),
         };
         let started = std::time::Instant::now();
         let mut results = sim.run();
         let wall = started.elapsed();
-        let report = Report::from_results(&mut results);
-        if !json {
-            println!("=== scheme: {scheme:?} (wall {wall:.2?}) ===");
-            print!("{}", report.render_text());
-            println!();
+        (path, scheme, Ok((Report::from_results(&mut results), wall)))
+    });
+
+    let mut per_file: Vec<(String, Vec<(Scheme, Report)>)> = Vec::new();
+    for (path, scheme, outcome) in outcomes {
+        match outcome {
+            Ok((report, wall)) => {
+                if !json {
+                    if many_files {
+                        println!("=== {path} · scheme: {scheme:?} (wall {wall:.2?}) ===");
+                    } else {
+                        println!("=== scheme: {scheme:?} (wall {wall:.2?}) ===");
+                    }
+                    print!("{}", report.render_text());
+                    println!();
+                }
+                match per_file.last_mut() {
+                    Some((p, reports)) if *p == path => reports.push((scheme, report)),
+                    _ => per_file.push((path, vec![(scheme, report)])),
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        reports.push((scheme, report));
     }
 
     if json {
-        let map = dibs_json::Json::Obj(
-            reports
-                .into_iter()
-                .map(|(scheme, r)| {
-                    (
-                        format!("{scheme:?}").to_lowercase(),
-                        dibs_json::ToJson::to_json(&r),
-                    )
-                })
-                .collect(),
-        );
-        println!("{}", map.render_pretty());
+        let file_obj = |reports: Vec<(Scheme, Report)>| {
+            dibs_json::Json::Obj(
+                reports
+                    .into_iter()
+                    .map(|(scheme, r)| {
+                        (
+                            format!("{scheme:?}").to_lowercase(),
+                            dibs_json::ToJson::to_json(&r),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let out = if many_files {
+            dibs_json::Json::Obj(
+                per_file
+                    .into_iter()
+                    .map(|(path, reports)| (path, file_obj(reports)))
+                    .collect(),
+            )
+        } else {
+            let (_, reports) = per_file.pop().expect("at least one scenario ran");
+            file_obj(reports)
+        };
+        println!("{}", out.render_pretty());
     }
     ExitCode::SUCCESS
 }

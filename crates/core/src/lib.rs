@@ -35,8 +35,10 @@ pub mod audit;
 pub mod config;
 pub mod presets;
 pub mod results;
+pub mod rundesc;
 pub mod sim;
 
 pub use config::{EcmpMode, PfcConfig, SimConfig, SwitchArch};
-pub use results::{FlowOutcome, PacketPath, QueryOutcome, RunResults};
+pub use results::{FlowOutcome, PacketPath, QueryOutcome, RunDigest, RunResults};
+pub use rundesc::RunDescriptor;
 pub use sim::Simulation;

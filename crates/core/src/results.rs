@@ -133,6 +133,77 @@ impl RunResults {
     }
 }
 
+/// A canonical, line-oriented transcript of everything observable in a
+/// [`RunResults`], used for byte-identical regression comparison.
+///
+/// Two runs are "the same" for determinism purposes iff their digests match
+/// byte-for-byte: aggregate counters, per-flow delivery/FCT/timeouts,
+/// per-query completion, the detour histogram, per-switch detour counts,
+/// and the engine's event count all participate. Anything scheduling-
+/// sensitive (wall-clock time, thread IDs) is deliberately absent.
+///
+/// The digest is plain text so a mismatch diffs readably; [`fingerprint`]
+/// (a 64-bit hash of the text) is what golden tests pin.
+///
+/// [`fingerprint`]: RunDigest::fingerprint
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDigest {
+    text: String,
+}
+
+impl RunDigest {
+    /// Build the digest of one run's results.
+    pub fn of(results: &RunResults) -> Self {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        let w = &mut text;
+        let _ = writeln!(w, "counters {:?}", results.counters);
+        let _ = writeln!(
+            w,
+            "events {} finished_ns {}",
+            results.events_dispatched,
+            results.finished_at.as_nanos()
+        );
+        for (i, f) in results.flows.iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "flow {i} {:?}->{:?} size {} delivered {} fct_ns {:?} timeouts {}",
+                f.src,
+                f.dst,
+                f.size,
+                f.bytes_delivered,
+                f.fct.map(|d| d.as_nanos()),
+                f.timeouts
+            );
+        }
+        for (i, q) in results.queries.iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "query {i} responses {}/{} qct_ns {:?}",
+                q.completed_responses,
+                q.total_responses,
+                q.qct.map(|d| d.as_nanos())
+            );
+        }
+        let _ = writeln!(w, "detour_hist {:?}", results.detour_histogram);
+        let _ = writeln!(w, "detours_per_switch {:?}", results.detours_per_switch);
+        let _ = writeln!(w, "pfc_pauses {}", results.pfc_pause_events);
+        RunDigest { text }
+    }
+
+    /// The digest transcript (one fact per line, `\n`-terminated).
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// A 64-bit hash of the transcript, suitable for pinning in golden
+    /// tests. Uses [`dibs_engine::rng::hash_bytes`], which is stable across
+    /// platforms and releases.
+    pub fn fingerprint(&self) -> u64 {
+        dibs_engine::rng::hash_bytes(self.text.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +230,21 @@ mod tests {
             events_dispatched: 0,
             finished_at: SimTime::ZERO,
         }
+    }
+
+    #[test]
+    fn digest_reflects_observable_results_only() {
+        let a = RunDigest::of(&empty_results());
+        let b = RunDigest::of(&empty_results());
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut changed = empty_results();
+        changed.detour_histogram[3] = 1;
+        let c = RunDigest::of(&changed);
+        assert_ne!(a, c);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(c.as_str().contains("detour_hist"));
     }
 
     #[test]

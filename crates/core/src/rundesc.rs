@@ -1,0 +1,155 @@
+//! Run descriptors: the stable identity of one simulation run in a sweep.
+//!
+//! Parallel sweeps stay reproducible only if each run's randomness is a
+//! pure function of *what the run is* — never of which worker thread
+//! executed it or in what order runs completed. A [`RunDescriptor`] names a
+//! run as `(scenario × variant × parameter-point × replicate)` and converts
+//! that name into a seed by hashing it against the sweep's master seed with
+//! [`dibs_engine::rng::derive_stream_seed`].
+//!
+//! Two seed derivations are provided:
+//!
+//! * [`RunDescriptor::seed`] hashes every field, so distinct runs get
+//!   uncorrelated RNG streams.
+//! * [`RunDescriptor::paired_seed`] hashes everything **except** the
+//!   variant. The paper's comparisons (DCTCP vs DCTCP+DIBS at the same
+//!   sweep point) are paired experiments: both arms must observe the
+//!   identical workload, so their seeds must agree.
+
+use dibs_engine::rng::{derive_stream_seed, hash_bytes, SimRng};
+
+/// The identity of one simulation run inside a sweep.
+///
+/// Descriptors are plain data: cheap to clone, ordered, and independent of
+/// any execution context. The sweep executor (`dibs-harness`) carries them
+/// through the thread pool untouched; seeds are derived from the descriptor
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunDescriptor {
+    /// Sweep family, e.g. `"fig12_buffer_size"` or `"incast_degree"`.
+    pub scenario: String,
+    /// Configuration arm, e.g. `"dctcp"`, `"dibs"`, `"pfabric"`.
+    pub variant: String,
+    /// The swept parameter value, encoded as an integer (buffer packets,
+    /// TTL hops, queries/sec, incast degree, ...).
+    pub point: u64,
+    /// Replicate index when a point is run with several seeds.
+    pub replicate: u64,
+}
+
+impl RunDescriptor {
+    /// Describe a run. `point` is the swept parameter encoded as an
+    /// integer; use `0` for single-point scenarios.
+    pub fn new(
+        scenario: impl Into<String>,
+        variant: impl Into<String>,
+        point: u64,
+        replicate: u64,
+    ) -> Self {
+        RunDescriptor {
+            scenario: scenario.into(),
+            variant: variant.into(),
+            point,
+            replicate,
+        }
+    }
+
+    /// The descriptor as hash words, ready for
+    /// [`derive_stream_seed`]. Strings are collapsed with
+    /// [`hash_bytes`] so the word count is fixed.
+    pub fn words(&self) -> [u64; 4] {
+        [
+            hash_bytes(self.scenario.as_bytes()),
+            hash_bytes(self.variant.as_bytes()),
+            self.point,
+            self.replicate,
+        ]
+    }
+
+    /// The run's seed under `master`: a pure function of the descriptor,
+    /// distinct for every distinct descriptor.
+    pub fn seed(&self, master: u64) -> u64 {
+        derive_stream_seed(master, &self.words())
+    }
+
+    /// The seed shared by every variant at this `(scenario, point,
+    /// replicate)`. Paired comparisons (baseline vs DIBS on the *same*
+    /// traffic) must use this so both arms generate identical workloads.
+    pub fn paired_seed(&self, master: u64) -> u64 {
+        derive_stream_seed(
+            master,
+            &[
+                hash_bytes(self.scenario.as_bytes()),
+                self.point,
+                self.replicate,
+            ],
+        )
+    }
+
+    /// A fresh RNG for this run under `master` (convenience over
+    /// [`seed`](Self::seed)).
+    pub fn rng(&self, master: u64) -> SimRng {
+        SimRng::new(self.seed(master))
+    }
+
+    /// Human-readable run label for logs and progress output.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} point={} rep={}",
+            self.scenario, self.variant, self.point, self.replicate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_is_a_pure_function_of_the_descriptor() {
+        let d = RunDescriptor::new("fig12", "dibs", 100, 0);
+        assert_eq!(d.seed(42), d.clone().seed(42));
+        assert_eq!(
+            d.seed(42),
+            RunDescriptor::new("fig12", "dibs", 100, 0).seed(42)
+        );
+    }
+
+    #[test]
+    fn every_field_perturbs_the_seed() {
+        let base = RunDescriptor::new("fig12", "dibs", 100, 0);
+        let master = 7;
+        for other in [
+            RunDescriptor::new("fig13", "dibs", 100, 0),
+            RunDescriptor::new("fig12", "dctcp", 100, 0),
+            RunDescriptor::new("fig12", "dibs", 101, 0),
+            RunDescriptor::new("fig12", "dibs", 100, 1),
+        ] {
+            assert_ne!(base.seed(master), other.seed(master), "{}", other.label());
+        }
+        assert_ne!(base.seed(7), base.seed(8), "master seed must matter");
+    }
+
+    #[test]
+    fn paired_seed_ignores_variant_only() {
+        let a = RunDescriptor::new("fig12", "dctcp", 100, 0);
+        let b = RunDescriptor::new("fig12", "dibs", 100, 0);
+        assert_eq!(a.paired_seed(42), b.paired_seed(42));
+        assert_ne!(a.seed(42), b.seed(42));
+
+        let c = RunDescriptor::new("fig12", "dibs", 200, 0);
+        let d = RunDescriptor::new("fig12", "dibs", 100, 3);
+        assert_ne!(a.paired_seed(42), c.paired_seed(42));
+        assert_ne!(a.paired_seed(42), d.paired_seed(42));
+    }
+
+    #[test]
+    fn rng_matches_seed_derivation() {
+        let d = RunDescriptor::new("fig09", "dibs", 300, 2);
+        let mut from_rng = d.rng(99);
+        let mut direct = SimRng::new(d.seed(99));
+        for _ in 0..8 {
+            assert_eq!(from_rng.next_u64(), direct.next_u64());
+        }
+    }
+}

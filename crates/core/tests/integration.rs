@@ -243,6 +243,7 @@ fn fairness_perfect_on_shared_bottleneck() {
 /// per-flow Jain index structurally — and DIBS does not make it worse than
 /// the no-DIBS baseline. (The full K=8 N-sweep lives in `tab_fairness`.)
 #[test]
+#[ignore = "tier-2 (~40 s): run via scripts/check.sh --full or --include-ignored"]
 fn fairness_dibs_does_not_induce_unfairness() {
     let run = |cfg: SimConfig| {
         let mut cfg = cfg.with_seed(3);
@@ -256,8 +257,13 @@ fn fairness_dibs_does_not_induce_unfairness() {
             .all(|&t| t > 10_000_000.0));
         results.jain().unwrap()
     };
-    let jain_dibs = run(SimConfig::dctcp_dibs());
-    let jain_base = run(SimConfig::dctcp_baseline());
+    // The two arms are independent full runs — fan them out.
+    let mut jains = dibs_harness::Executor::from_env().map(
+        vec![SimConfig::dctcp_dibs(), SimConfig::dctcp_baseline()],
+        run,
+    );
+    let jain_base = jains.pop().unwrap();
+    let jain_dibs = jains.pop().unwrap();
     // ECMP collisions dominate on K=4 (only two choices per stage); what
     // DIBS must not do is degrade fairness relative to the baseline.
     assert!(jain_dibs > 0.6, "DIBS Jain {jain_dibs}");
@@ -309,13 +315,16 @@ fn detour_accounting_consistent() {
 /// The load-aware and flow-based policies also produce lossless incasts.
 #[test]
 fn alternative_policies_also_lossless() {
-    for policy in [
+    let policies = vec![
         DibsPolicy::LoadAware,
         DibsPolicy::FlowBased,
         DibsPolicy::Probabilistic { onset: 0.9 },
-    ] {
+    ];
+    let results = dibs_harness::Executor::from_env().map(policies, |policy| {
         let cfg = SimConfig::dctcp_dibs().with_policy(policy);
-        let results = testbed_incast_sim(cfg, 5, 10, 32_000).run();
+        (policy, testbed_incast_sim(cfg, 5, 10, 32_000).run())
+    });
+    for (policy, results) in results {
         assert_eq!(
             results.counters.drops_buffer, 0,
             "{policy:?} should be lossless here"

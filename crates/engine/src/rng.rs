@@ -17,6 +17,39 @@ pub fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic 64-bit hash of a byte string, built from splitmix64.
+///
+/// Used wherever a stable identifier (a fork label, a run-descriptor
+/// field) must be folded into a seed. The hash depends only on the bytes,
+/// never on pointer identity or platform, so it is safe to persist.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    // Seed the fold with an arbitrary non-zero constant so the empty
+    // string does not hash to zero.
+    let mut h = 0x6A09_E667_F3BC_C908;
+    for &b in bytes {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    // Length suffix: distinguishes "ab" + "c" from "a" + "bc" when callers
+    // concatenate hashed fields.
+    splitmix64(h ^ bytes.len() as u64)
+}
+
+/// Derives the seed of an independent random stream identified by a
+/// sequence of words (typically hashed run-descriptor fields) under a
+/// master seed.
+///
+/// This is the sweep executor's seeding scheme: the derived seed is a pure
+/// function of `(master, words)` — never of thread identity, completion
+/// order, or submission order — so a parallel sweep reproduces a serial
+/// one bit for bit. Word order matters; empty word lists are valid.
+pub fn derive_stream_seed(master: u64, words: &[u64]) -> u64 {
+    let mut h = splitmix64(master ^ 0x9E37_79B9_7F4A_7C15);
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    splitmix64(h ^ words.len() as u64)
+}
+
 /// A seeded random stream.
 ///
 /// A self-contained xoshiro256++ generator with a convenience API and
@@ -73,6 +106,14 @@ impl SimRng {
     pub fn fork_idx(&self, label: &str, idx: u64) -> SimRng {
         let forked = self.fork(label);
         SimRng::new(splitmix64(forked.seed ^ splitmix64(idx)))
+    }
+
+    /// Derives an independent child stream identified by a pre-hashed
+    /// 64-bit word (e.g. a [`hash_bytes`] of a run descriptor).
+    ///
+    /// Like [`SimRng::fork`], this never consumes randomness from `self`.
+    pub fn fork_hash(&self, hash: u64) -> SimRng {
+        SimRng::new(derive_stream_seed(self.seed, &[hash]))
     }
 
     /// Next raw 64-bit value (xoshiro256++).
@@ -228,6 +269,40 @@ mod tests {
             parent.fork_idx("a", 0).next_u64(),
             parent.fork_idx("a", 1).next_u64()
         );
+    }
+
+    #[test]
+    fn hash_bytes_is_stable_and_length_sensitive() {
+        assert_eq!(hash_bytes(b"fig12"), hash_bytes(b"fig12"));
+        assert_ne!(hash_bytes(b"fig12"), hash_bytes(b"fig13"));
+        assert_ne!(hash_bytes(b""), 0);
+        // Field-boundary sensitivity for concatenating callers.
+        assert_ne!(
+            derive_stream_seed(1, &[hash_bytes(b"ab"), hash_bytes(b"c")]),
+            derive_stream_seed(1, &[hash_bytes(b"a"), hash_bytes(b"bc")])
+        );
+    }
+
+    #[test]
+    fn derive_stream_seed_depends_on_all_inputs() {
+        let w = [hash_bytes(b"scenario"), hash_bytes(b"point"), 3];
+        assert_eq!(derive_stream_seed(7, &w), derive_stream_seed(7, &w));
+        assert_ne!(derive_stream_seed(7, &w), derive_stream_seed(8, &w));
+        let mut reordered = w;
+        reordered.swap(0, 1);
+        assert_ne!(derive_stream_seed(7, &w), derive_stream_seed(7, &reordered));
+        assert_ne!(derive_stream_seed(7, &[]), derive_stream_seed(7, &[0]));
+    }
+
+    #[test]
+    fn fork_hash_matches_derivation_and_ignores_consumption() {
+        let h = hash_bytes(b"run-0");
+        let parent = SimRng::new(9);
+        let mut consumed = SimRng::new(9);
+        consumed.next_u64();
+        assert_eq!(parent.fork_hash(h).seed(), consumed.fork_hash(h).seed());
+        assert_eq!(parent.fork_hash(h).seed(), derive_stream_seed(9, &[h]));
+        assert_ne!(parent.fork_hash(h).seed(), parent.fork_hash(h ^ 1).seed());
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Deterministic parallel sweep executor.
+//!
+//! Every evaluation in the DIBS paper is a sweep of *independent* simulation
+//! runs — buffer sizes, TTL limits, incast degrees, query rates. This crate
+//! fans those runs across OS threads while keeping the merged output
+//! **byte-identical for any `--jobs N`, including `N = 1`**:
+//!
+//! * Work is distributed by a work-stealing pool, so thread count and
+//!   completion order are *scheduling* details only.
+//! * Each run must derive its randomness from the run's *descriptor* (what
+//!   the run is), never from which thread ran it or when it finished — see
+//!   `dibs_engine::rng::derive_stream_seed` and `dibs::RunDescriptor`.
+//! * Results land in slots indexed by the run's position in the input, and
+//!   [`Executor::map`] returns them in input order, so the reduction is
+//!   independent of execution interleaving.
+//!
+//! The crate is pure `std` and has **zero dependencies**, so any workspace
+//! crate (or dev-dependency graph) can use it without cycles. All other
+//! crates are forbidden from touching `std::thread` directly — the
+//! `thread-spawn` rule in `dibs-lint` enforces this.
+//!
+//! ```
+//! use dibs_harness::Executor;
+//!
+//! let seq = Executor::new(1).map((0..100).collect(), |x: u64| x * x);
+//! let par = Executor::new(8).map((0..100).collect(), |x: u64| x * x);
+//! assert_eq!(seq, par); // same bytes regardless of thread count
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`Executor::from_env`] for the worker
+/// count. Sweep binaries also accept `--jobs N`, which takes precedence.
+pub const JOBS_ENV: &str = "DIBS_JOBS";
+
+/// A fixed-width thread pool that maps a function over a batch of
+/// independent items and returns the results **in input order**.
+///
+/// The executor is cheap to construct (threads are spawned per
+/// [`map`](Executor::map) call and joined before it returns), carries no
+/// state between calls, and never lets scheduling influence results: with a
+/// correctly seeded work function, `map` output is byte-identical for every
+/// `jobs` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor running `jobs` worker threads. `jobs == 1` (or `0`,
+    /// which is clamped to 1) runs inline on the calling thread with no
+    /// thread machinery at all.
+    pub fn new(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// A single-threaded executor; `map` degenerates to `Vec::into_iter().map()`.
+    pub fn sequential() -> Self {
+        Executor::new(1)
+    }
+
+    /// Worker count from the environment: `DIBS_JOBS` if set and parseable,
+    /// otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        Executor::new(env_jobs().unwrap_or_else(default_jobs))
+    }
+
+    /// The number of worker threads `map` will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Apply `f` to every item and return the outputs in input order.
+    ///
+    /// Items are dealt round-robin to per-worker deques; each worker drains
+    /// its own queue front-first and, when empty, steals from the *back* of
+    /// its neighbours' queues. A worker retires only after a full scan of
+    /// every queue finds nothing (tasks never enqueue new tasks, so an
+    /// all-empty scan is a stable termination condition).
+    ///
+    /// `f` must not derive behaviour from thread identity, wall-clock time,
+    /// or any other scheduling artifact — seed it from the item itself.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Round-robin deal into per-worker deques, remembering each item's
+        // input position so its result can be slotted back in order.
+        let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (idx, item) in items.into_iter().enumerate() {
+            queues[idx % workers]
+                .lock()
+                .expect("executor queue poisoned")
+                .push_back((idx, item));
+        }
+
+        // One slot per input item. Mutex<Option<R>> rather than OnceLock so
+        // `R` only needs `Send`, matching what a plain sequential map would
+        // require.
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let task = pop_own(&queues[me]).or_else(|| steal(queues, me));
+                    match task {
+                        Some((idx, item)) => {
+                            let out = f(item);
+                            *slots[idx].lock().expect("executor slot poisoned") = Some(out);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.into_inner()
+                    .expect("executor slot poisoned")
+                    .unwrap_or_else(|| panic!("executor left slot {idx} unfilled"))
+            })
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+/// Worker count requested via the `DIBS_JOBS` environment variable, if set
+/// to a positive integer.
+pub fn env_jobs() -> Option<usize> {
+    std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+}
+
+/// The fallback worker count: the host's available parallelism, or 1 if
+/// that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parse a `--jobs N` / `--jobs=N` flag out of an argument list, removing
+/// the consumed tokens. Returns `None` (leaving `args` untouched apart from
+/// any well-formed flag) when the flag is absent or malformed.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" && i + 1 < args.len() {
+            if let Ok(j) = args[i + 1].parse::<usize>() {
+                jobs = Some(j.max(1));
+            }
+            args.drain(i..=i + 1);
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            if let Ok(j) = v.parse::<usize>() {
+                jobs = Some(j.max(1));
+            }
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    jobs
+}
+
+fn pop_own<T>(queue: &Mutex<VecDeque<(usize, T)>>) -> Option<(usize, T)> {
+    queue.lock().expect("executor queue poisoned").pop_front()
+}
+
+fn steal<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(task) = queues[victim]
+            .lock()
+            .expect("executor queue poisoned")
+            .pop_back()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for jobs in [1, 2, 3, 8] {
+            let out = Executor::new(jobs).map((0..64u64).collect(), |x| x * 10);
+            assert_eq!(
+                out,
+                (0..64u64).map(|x| x * 10).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_count_never_changes_results() {
+        let work = |x: u64| {
+            // Unequal task sizes so stealing actually happens.
+            let mut acc = x;
+            for i in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        };
+        let baseline = Executor::sequential().map((0..200u64).collect(), work);
+        for jobs in [2, 4, 8, 16] {
+            assert_eq!(
+                Executor::new(jobs).map((0..200u64).collect(), work),
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let e = Executor::new(8);
+        assert_eq!(e.map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(e.map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(
+            Executor::new(64).map(vec![1u32, 2, 3], |x| x * 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let e = Executor::new(0);
+        assert_eq!(e.jobs(), 1);
+        assert_eq!(e.map(vec![1u32, 2], |x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn take_jobs_flag_consumes_both_forms() {
+        let mut args = vec!["--quick".to_string(), "--jobs".to_string(), "4".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), Some(4));
+        assert_eq!(args, vec!["--quick".to_string()]);
+
+        let mut args = vec!["--jobs=2".to_string(), "x".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), Some(2));
+        assert_eq!(args, vec!["x".to_string()]);
+
+        let mut args = vec!["--full".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), None);
+        assert_eq!(args, vec!["--full".to_string()]);
+    }
+
+    #[test]
+    fn non_send_sync_closure_state_not_required() {
+        // f only needs Sync; results only need Send.
+        let table: Vec<u64> = (0..32).map(|i| i * 3).collect();
+        let out = Executor::new(4).map((0..32usize).collect(), |i| table[i]);
+        assert_eq!(out, table);
+    }
+}

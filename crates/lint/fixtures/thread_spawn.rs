@@ -1,0 +1,5 @@
+// Fixture: the `thread-spawn` lint must fire on ad-hoc threads.
+fn fan_out(work: Vec<u64>) -> Vec<u64> {
+    let handle = std::thread::spawn(move || work.into_iter().map(|w| w * 2).collect());
+    handle.join().unwrap_or_default()
+}

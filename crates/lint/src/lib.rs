@@ -59,6 +59,10 @@ pub enum Rule {
     /// `unwrap()`/`expect()` in hot-path crates (switch, transport,
     /// engine) outside tests and outside the `lint.toml` allowlist.
     PanicHygiene,
+    /// `std::thread` spawning (`spawn`/`scope`/`Builder`) outside
+    /// `crates/harness`: ad-hoc threads bypass the deterministic sweep
+    /// executor and reintroduce schedule-dependent output.
+    ThreadSpawn,
     /// A dependency declared in `Cargo.toml` that no source file of the
     /// crate references.
     UnusedDep,
@@ -75,6 +79,7 @@ impl Rule {
             Rule::UncheckedSub => "unchecked-sub",
             Rule::TruncatingCast => "truncating-cast",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::ThreadSpawn => "thread-spawn",
             Rule::UnusedDep => "unused-dep",
         }
     }
@@ -89,6 +94,7 @@ impl Rule {
             Rule::UncheckedSub,
             Rule::TruncatingCast,
             Rule::PanicHygiene,
+            Rule::ThreadSpawn,
             Rule::UnusedDep,
         ]
     }
@@ -292,6 +298,12 @@ impl FileCtx {
                 && self.is_sim_crate())
     }
 
+    /// The one crate allowed to spawn OS threads: the deterministic
+    /// sweep executor. Everyone else must go through it.
+    fn may_spawn_threads(&self) -> bool {
+        self.crate_name == "dibs-harness" && !self.is_strict()
+    }
+
     /// Files that account for packets, bytes, or buffer occupancy.
     fn is_accounting_file(&self) -> bool {
         let p = &self.rel_path;
@@ -411,6 +423,20 @@ pub fn scan_str(src: &str, ctx: &FileCtx) -> Vec<Finding> {
                     ),
                 );
             }
+        }
+
+        // --- parallelism ------------------------------------------------
+        if !ctx.may_spawn_threads()
+            && (trimmed.contains("thread::spawn")
+                || trimmed.contains("thread::scope")
+                || trimmed.contains("thread::Builder"))
+        {
+            push(
+                Rule::ThreadSpawn,
+                "ad-hoc thread spawn outside crates/harness; all parallelism must \
+                 go through dibs_harness::Executor so sweeps stay deterministic"
+                    .to_string(),
+            );
         }
 
         // --- panic hygiene ----------------------------------------------

@@ -62,6 +62,11 @@ fn panic_hygiene_fires() {
 }
 
 #[test]
+fn thread_spawn_fires() {
+    assert_fires("thread_spawn.rs", Rule::ThreadSpawn);
+}
+
+#[test]
 fn unused_dep_fires() {
     let dir = fixture("unused_dep_crate");
     let findings = scan_manifest(&dir, "fixtures/unused_dep_crate/");
@@ -95,6 +100,7 @@ fn every_rs_fixture_is_covered() {
             "float_ordering.rs",
             "hash_collections.rs",
             "panic_hygiene.rs",
+            "thread_spawn.rs",
             "truncating_cast.rs",
             "unchecked_sub.rs",
             "wall_clock.rs",

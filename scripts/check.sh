@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Pre-PR gate: run everything CI would, in the order that fails fastest.
 #
-#   scripts/check.sh          # the whole gate
+#   scripts/check.sh          # the whole gate, fast test tier (~15 s)
 #   scripts/check.sh --quick  # skip the test suite (format/lint only)
+#   scripts/check.sh --full   # include tier-2 tests (#[ignore]d slow
+#                             # sweeps; minutes, not seconds)
 #
 # Every command is hermetic: no network, no external toolchain beyond the
-# pinned rustc. A clean exit here is the bar for opening a PR.
+# pinned rustc. A clean exit here is the bar for opening a PR; --full is
+# the bar for changes that touch simulation semantics.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+full=0
+case "${1:-}" in
+--quick) quick=1 ;;
+--full) full=1 ;;
+esac
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -23,8 +30,13 @@ echo "==> dibs-lint (simulation-safety static analysis)"
 cargo run -q -p dibs-lint --offline -- crates
 
 if [[ $quick -eq 0 ]]; then
-    echo "==> cargo test --workspace"
-    cargo test --workspace --offline -q
+    if [[ $full -eq 1 ]]; then
+        echo "==> cargo test --workspace (full: tier-1 + tier-2)"
+        cargo test --workspace --offline -q -- --include-ignored
+    else
+        echo "==> cargo test --workspace (fast tier; --full adds tier-2)"
+        cargo test --workspace --offline -q
+    fi
 fi
 
 echo "==> all checks passed"

@@ -1,13 +1,13 @@
 //! Determinism regression: the same scenario with the same seed must
-//! produce byte-identical results, run to run. The digest covers the
-//! full counter block (rendered through the JSON serializer, so every
-//! field participates), per-flow completion times, and the detour-depth
+//! produce byte-identical results, run to run. The digest
+//! ([`dibs::RunDigest`]) covers the full counter block, per-flow
+//! completion times, per-query completion, and the detour-depth
 //! histogram — if any event is scheduled differently, something in here
 //! moves.
 
-use dibs::{SimConfig, Simulation};
+use dibs::{RunDigest, SimConfig, Simulation};
 use dibs_engine::time::SimTime;
-use dibs_json::ToJson;
+use dibs_harness::Executor;
 use dibs_net::builders::{fat_tree, FatTreeParams};
 use dibs_net::ids::HostId;
 use dibs_net::topology::Topology;
@@ -50,39 +50,35 @@ fn run_digest(seed: u64, policy: DibsPolicy) -> String {
         }]);
     }
     let r = sim.run();
-
-    let mut digest = String::new();
-    digest.push_str(&r.counters.to_json().render());
-    digest.push('\n');
-    digest.push_str(&format!("events={}\n", r.events_dispatched));
-    for f in &r.flows {
-        digest.push_str(&format!(
-            "flow bytes={} fct={:?}\n",
-            f.bytes_delivered,
-            f.fct.map(|t| t.as_nanos())
-        ));
-    }
-    digest.push_str(&format!("detour_hist={:?}\n", r.detour_histogram));
-    digest
+    RunDigest::of(&r).as_str().to_string()
 }
 
 #[test]
 fn same_seed_same_bytes() {
-    for (seed, policy) in [
+    let configs = [
         (1u64, DibsPolicy::Random),
         (42, DibsPolicy::Random),
         (42, DibsPolicy::Disabled),
         (7, DibsPolicy::LoadAware),
-    ] {
-        let a = run_digest(seed, policy);
-        let b = run_digest(seed, policy);
+    ];
+    // Both passes run through the executor — so this also guards against
+    // the thread pool leaking scheduling state into results.
+    let run_pass =
+        || Executor::from_env().map(configs.to_vec(), |(seed, policy)| run_digest(seed, policy));
+    let first = run_pass();
+    let second = run_pass();
+    for (i, (seed, policy)) in configs.iter().enumerate() {
         assert_eq!(
-            a, b,
+            first[i], second[i],
             "run-to-run divergence for seed {seed} policy {policy:?}"
         );
         // The scenario actually exercises the network: packets flowed
         // and (for the congested incast) DIBS or drops did something.
-        assert!(a.contains("packets_delivered"), "digest shape: {a}");
+        assert!(
+            first[i].contains("packets_delivered"),
+            "digest shape: {}",
+            first[i]
+        );
     }
 }
 

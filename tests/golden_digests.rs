@@ -1,0 +1,84 @@
+//! Golden-digest regression tests for the figure pipeline.
+//!
+//! One small-scale point per figure family, with the expected digest
+//! fingerprint pinned in the test. A silent behavior change anywhere in
+//! the switch/transport/engine stack — an extra event, a different detour
+//! choice, a shifted timestamp — moves the fingerprint and fails loudly.
+//!
+//! If a change is *intentional* (you changed simulation semantics on
+//! purpose), rerun with `--nocapture`, copy the printed fingerprint into
+//! the constant, and say so in the commit message. These pins are the
+//! reason a refactor can claim "no behavior change" with a straight face.
+
+use dibs::presets::{single_incast_sim, testbed_incast_sim};
+use dibs::{RunDescriptor, RunDigest, SimConfig};
+use dibs_net::builders::FatTreeParams;
+use dibs_switch::BufferConfig;
+
+/// Master seed shared by all golden runs; mirrors the bench default.
+const MASTER_SEED: u64 = 0xD1B5_2014;
+
+fn k4() -> FatTreeParams {
+    FatTreeParams {
+        k: 4,
+        ..FatTreeParams::paper_default()
+    }
+}
+
+fn check(family: &str, digest: &RunDigest, expected: u64) {
+    let got = digest.fingerprint();
+    assert_eq!(
+        got,
+        expected,
+        "{family}: digest fingerprint changed — got {got:#018x}, pinned {expected:#018x}.\n\
+         If this behavior change is intentional, update the pin.\n\
+         Digest:\n{}",
+        digest.as_str()
+    );
+}
+
+/// Fig 6 family: the §5.2 testbed incast under DIBS.
+#[test]
+fn golden_testbed_incast() {
+    let d = RunDescriptor::new("golden_testbed_incast", "dibs", 5, 0);
+    let cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    let results = testbed_incast_sim(cfg, 5, 4, 32_000).run();
+    assert_eq!(results.counters.total_drops(), 0, "DIBS incast is lossless");
+    check(
+        "testbed_incast",
+        &RunDigest::of(&results),
+        GOLDEN_TESTBED_INCAST,
+    );
+}
+
+/// Fig 7/12 family: one small-buffer sweep point (25-packet buffers).
+#[test]
+fn golden_buffer_sweep_point() {
+    let d = RunDescriptor::new("golden_buffer_sweep", "dibs", 25, 0);
+    let mut cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    cfg.switch.buffer = BufferConfig::StaticPerPort { packets: 25 };
+    cfg.switch.ecn_threshold = Some(20);
+    let results = single_incast_sim(k4(), cfg, 8, 20_000).run();
+    check(
+        "buffer_sweep",
+        &RunDigest::of(&results),
+        GOLDEN_BUFFER_SWEEP,
+    );
+}
+
+/// Fig 13 family: one TTL sweep point (TTL 12 — ~3 backward detours).
+#[test]
+fn golden_ttl_sweep_point() {
+    let d = RunDescriptor::new("golden_ttl_sweep", "dibs", 12, 0);
+    let mut cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    cfg.tcp.initial_ttl = 12;
+    let results = single_incast_sim(k4(), cfg, 8, 20_000).run();
+    check("ttl_sweep", &RunDigest::of(&results), GOLDEN_TTL_SWEEP);
+}
+
+// The pinned fingerprints. These change ONLY when simulation semantics
+// change; the parallel executor, jobs count, and merge order must never
+// move them.
+const GOLDEN_TESTBED_INCAST: u64 = 0xd3da_11b4_69d7_8c65;
+const GOLDEN_BUFFER_SWEEP: u64 = 0x999f_d885_16eb_253a;
+const GOLDEN_TTL_SWEEP: u64 = 0xd7b3_05d9_6f8a_1961;

@@ -3,9 +3,16 @@
 //! wins, roughly by how much, and where the collateral damage lands.
 
 use dibs::presets::{mixed_workload_sim, MixedWorkload};
-use dibs::SimConfig;
+use dibs::{RunResults, SimConfig};
 use dibs_engine::time::SimDuration;
+use dibs_harness::Executor;
 use dibs_net::builders::FatTreeParams;
+
+/// Run the same workload under several configs through the sweep executor
+/// (one job per config when cores allow), returning results in input order.
+fn run_all(wl: MixedWorkload, cfgs: Vec<SimConfig>) -> Vec<RunResults> {
+    Executor::from_env().map(cfgs, |cfg| mixed_workload_sim(k8(), cfg, wl).run())
+}
 
 fn small_mixed(qps: f64) -> MixedWorkload {
     MixedWorkload {
@@ -23,10 +30,15 @@ fn k8() -> FatTreeParams {
 /// §1/abstract: DIBS reduces the 99th percentile of query completion time
 /// substantially (the paper reports up to 85% under heavy congestion).
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn dibs_reduces_tail_qct() {
     let wl = small_mixed(1000.0);
-    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
-    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let mut runs = run_all(
+        wl,
+        vec![SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()],
+    );
+    let mut dibs = runs.pop().unwrap();
+    let mut base = runs.pop().unwrap();
     let qb = base.qct_p99_ms().unwrap();
     let qd = dibs.qct_p99_ms().unwrap();
     assert!(
@@ -41,6 +53,7 @@ fn dibs_reduces_tail_qct() {
 /// detoured packets belong to query traffic, and ~1 % of background
 /// packets get detoured.
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn collateral_damage_is_limited() {
     let wl = small_mixed(1000.0);
     let dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
@@ -64,10 +77,15 @@ fn collateral_damage_is_limited() {
 /// §5.4.1: background-flow tail FCT rises by no more than a few
 /// milliseconds under DIBS.
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn background_fct_damage_is_bounded() {
     let wl = small_mixed(300.0);
-    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
-    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let mut runs = run_all(
+        wl,
+        vec![SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()],
+    );
+    let mut dibs = runs.pop().unwrap();
+    let mut base = runs.pop().unwrap();
     let fb = base.bg_fct_p99_ms().unwrap();
     let fd = dibs.bg_fct_p99_ms().unwrap();
     assert!(
@@ -79,6 +97,7 @@ fn background_fct_damage_is_bounded() {
 /// §5.4.4 (burstiness): for the same total response volume, a high incast
 /// degree is harder than large responses — and hurts DCTCP more than DIBS.
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn high_degree_is_burstier_than_large_responses() {
     // 2 MB per query either way: 100 x 20 KB vs 40 x 50 KB. The first-RTT
     // burst is 1 MB vs 400 KB, so the many-senders variant hits the
@@ -93,9 +112,17 @@ fn high_degree_is_burstier_than_large_responses() {
         drain: SimDuration::from_millis(400),
         ..MixedWorkload::paper_default()
     };
-    let mut base_many =
-        mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), mk(100, 20_000)).run();
-    let mut base_big = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), mk(40, 50_000)).run();
+    // Three independent runs: fan them out through the executor.
+    let arms = vec![
+        (SimConfig::dctcp_baseline(), mk(100, 20_000)),
+        (SimConfig::dctcp_baseline(), mk(40, 50_000)),
+        (SimConfig::dctcp_dibs(), mk(100, 20_000)),
+    ];
+    let mut runs =
+        Executor::from_env().map(arms, |(cfg, wl)| mixed_workload_sim(k8(), cfg, wl).run());
+    let dibs_many = runs.pop().unwrap();
+    let mut base_big = runs.pop().unwrap();
+    let mut base_many = runs.pop().unwrap();
     let bm = base_many.qct_ms.percentile(0.90).unwrap();
     let bb = base_big.qct_ms.percentile(0.90).unwrap();
     assert!(
@@ -106,7 +133,6 @@ fn high_degree_is_burstier_than_large_responses() {
     // intensity (600 qps of 1 MB first-RTT bursts) overlapping bursts can
     // momentarily exhaust every eligible buffer, so require a >100x drop
     // reduction rather than strictly zero.
-    let dibs_many = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), mk(100, 20_000)).run();
     assert!(
         dibs_many.counters.total_drops() * 100 < base_many.counters.total_drops(),
         "DIBS drops {} vs DCTCP drops {}",
@@ -118,10 +144,15 @@ fn high_degree_is_burstier_than_large_responses() {
 /// §5.4.2 at high query rates: without DIBS, background flows lose packets
 /// to query bursts; with DIBS they do not.
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn dibs_protects_background_at_high_qps() {
     let wl = small_mixed(2000.0);
-    let mut base = mixed_workload_sim(k8(), SimConfig::dctcp_baseline(), wl).run();
-    let mut dibs = mixed_workload_sim(k8(), SimConfig::dctcp_dibs(), wl).run();
+    let mut runs = run_all(
+        wl,
+        vec![SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()],
+    );
+    let mut dibs = runs.pop().unwrap();
+    let mut base = runs.pop().unwrap();
     assert!(base.counters.total_drops() > 0);
     assert_eq!(dibs.counters.total_drops(), 0);
     let fb = base.bg_fct_p99_ms().unwrap();
@@ -135,10 +166,13 @@ fn dibs_protects_background_at_high_qps() {
 /// Every query eventually completes in both configurations at moderate
 /// load, and DIBS never leaves a flow hanging.
 #[test]
+#[ignore = "tier-2 (>10 s): run via scripts/check.sh --full or --include-ignored"]
 fn all_queries_complete_at_moderate_load() {
     let wl = small_mixed(500.0);
-    for cfg in [SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()] {
-        let r = mixed_workload_sim(k8(), cfg, wl).run();
+    for r in run_all(
+        wl,
+        vec![SimConfig::dctcp_baseline(), SimConfig::dctcp_dibs()],
+    ) {
         assert!(
             r.query_completion_rate() > 0.99,
             "completion rate {}",
