@@ -44,6 +44,16 @@ const BINS: &[&str] = &[
     "abl_ecmp",
 ];
 
+/// Last `throughput:` summary line a child printed (emitted by
+/// `Harness::finish`), with the prefix stripped for the roll-up table.
+fn throughput_line(stdout: &str) -> Option<String> {
+    stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix("throughput: "))
+        .map(str::to_owned)
+}
+
 /// Outcome of one child binary, replayed in table order after the sweep.
 struct BinRun {
     bin: &'static str,
@@ -100,16 +110,27 @@ fn main() {
     });
 
     let mut failures = Vec::new();
+    let mut throughputs: Vec<(&'static str, String)> = Vec::new();
     for run in runs {
         println!("\n=== {} ===", run.bin);
-        print!("{}", String::from_utf8_lossy(&run.stdout));
+        let stdout = String::from_utf8_lossy(&run.stdout).into_owned();
+        print!("{stdout}");
         eprint!("{}", String::from_utf8_lossy(&run.stderr));
+        if let Some(line) = throughput_line(&stdout) {
+            throughputs.push((run.bin, line));
+        }
         match run.verdict {
             Ok(secs) => println!("=== {} done in {secs:.1}s ===", run.bin),
             Err(why) => {
                 eprintln!("=== {} {why} ===", run.bin);
                 failures.push(run.bin);
             }
+        }
+    }
+    if !throughputs.is_empty() {
+        println!("\n--- simulation throughput per binary ---");
+        for (bin, line) in &throughputs {
+            println!("{bin:>22}: {line}");
         }
     }
     println!(

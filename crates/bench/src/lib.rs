@@ -132,6 +132,7 @@ impl Harness {
         let out_dir = std::env::var("DIBS_RESULTS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
+        timing::meter_start();
         Harness {
             scale,
             out_dir,
@@ -173,6 +174,11 @@ impl Harness {
         if let Err(e) = std::fs::write(&svg_path, chart.render()) {
             eprintln!("warning: cannot write {}: {e}", svg_path.display());
         }
+        // Cumulative simulation throughput for this process so far;
+        // `repro_all` surfaces the final line per figure binary.
+        if let Some(line) = timing::meter_summary() {
+            println!("{line}");
+        }
     }
 }
 
@@ -194,6 +200,7 @@ where
 /// Extracts the standard pair of paper metrics from a finished run:
 /// `(qct_p99_ms, bg_short_fct_p99_ms)`.
 pub fn headline_metrics(results: &mut RunResults) -> (f64, f64) {
+    timing::note_run(results);
     let qct = results.qct_p99_ms().unwrap_or(f64::NAN);
     let fct = results.bg_fct_p99_ms().unwrap_or(f64::NAN);
     (qct, fct)

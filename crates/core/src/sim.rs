@@ -13,7 +13,7 @@ use dibs_engine::time::{SimDuration, SimTime};
 use dibs_engine::Engine;
 use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
 use dibs_net::packet::Packet;
-use dibs_net::routing::Fib;
+use dibs_net::routing::{EcmpMemo, Fib};
 use dibs_net::topology::{SwitchLayer, Topology};
 use dibs_stats::{DetourLog, NetCounters, OccupancySnapshot, Samples};
 use dibs_switch::{EnqueueOutcome, SwitchCore};
@@ -123,6 +123,9 @@ struct PathTrace {
 pub struct Simulation {
     topo: Topology,
     fib: Fib,
+    /// Per-`(flow, node, dst)` cache of flow-level ECMP decisions; a pure
+    /// accelerator over [`Fib::select_port`].
+    ecmp_memo: EcmpMemo,
     config: SimConfig,
     engine: Engine<Event>,
     rng_detour: SimRng,
@@ -249,6 +252,7 @@ impl Simulation {
 
         Simulation {
             fib,
+            ecmp_memo: EcmpMemo::with_slots(1 << 14),
             engine,
             rng_detour,
             ids: IdGen::new(),
@@ -370,9 +374,28 @@ impl Simulation {
         self.engine.schedule_at(spec.start, Event::FlowStart(fi));
     }
 
+    /// Rough event count the scheduled traffic will generate, used to
+    /// pre-size the event queue before the run starts.
+    ///
+    /// Each data packet costs a handful of events per hop (arrive, forward,
+    /// tx-complete) in each direction counting acks; flows add start/RTO
+    /// bookkeeping. Only an allocation hint, so precision is irrelevant —
+    /// the aim is the right order of magnitude.
+    fn estimated_event_count(&self) -> usize {
+        let mss = u64::from(self.config.tcp.mss).max(1);
+        let packets: u64 = self.flows.iter().map(|f| f.spec.size.div_ceil(mss)).sum();
+        let per_packet_events = 8;
+        let per_flow_events = 16;
+        usize::try_from(packets * per_packet_events)
+            .unwrap_or(usize::MAX)
+            .saturating_add(self.flows.len().saturating_mul(per_flow_events))
+    }
+
     /// Runs to completion (event exhaustion or the configured horizon) and
     /// returns the measurements.
     pub fn run(mut self) -> RunResults {
+        let expected_events = self.estimated_event_count();
+        self.engine.queue_mut().reserve(expected_events);
         if let Some(interval) = self.config.sample_interval {
             self.engine.schedule_in(interval, Event::Sample);
         }
@@ -708,7 +731,15 @@ impl Simulation {
     /// switch architectures.
     fn route_and_enqueue(&mut self, node: NodeId, si: usize, pkt: Packet) {
         let desired = match self.config.ecmp {
-            crate::config::EcmpMode::FlowLevel => self.fib.select_port(node, pkt.dst, pkt.flow),
+            // Flow-level selection is pure per (flow, node, dst), so it is
+            // served through the memo: one hash per flow per node instead
+            // of one per packet.
+            crate::config::EcmpMode::FlowLevel => {
+                self.fib
+                    .select_port_memo(&mut self.ecmp_memo, node, pkt.dst, pkt.flow)
+            }
+            // Packet-level spraying keys on per-packet entropy and cannot
+            // be memoized.
             crate::config::EcmpMode::PacketLevel => {
                 self.fib.select_port_per_packet(node, pkt.dst, pkt.id.0)
             }

@@ -105,17 +105,18 @@ impl<E> Engine<E> {
     /// Returns `None` when the queue is empty or the next event lies beyond
     /// the horizon (the clock is then parked at the horizon).
     pub fn next_event(&mut self) -> Option<E> {
-        match self.queue.peek_time() {
-            None => None,
-            Some(t) if t > self.horizon => {
-                self.now = self.horizon;
-                None
-            }
-            Some(_) => {
-                let (t, ev) = self.queue.pop().expect("peeked");
+        match self.queue.pop_at_or_before(self.horizon) {
+            Some((t, ev)) => {
                 debug_assert!(t >= self.now, "engine clock moved backwards");
                 self.now = t;
                 Some(ev)
+            }
+            None => {
+                if !self.queue.is_empty() {
+                    // Head lies beyond the horizon: park the clock there.
+                    self.now = self.horizon;
+                }
+                None
             }
         }
     }

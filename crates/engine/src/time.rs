@@ -170,11 +170,14 @@ impl SimDuration {
     /// Panics if `rate_bps` is zero.
     pub fn serialization(bytes: u64, rate_bps: u64) -> Self {
         assert!(rate_bps > 0, "link rate must be positive");
-        // ns = bits * 1e9 / rate, computed in u128 to avoid overflow.
-        let bits = bytes as u128 * 8;
-        let ns = (bits * 1_000_000_000).div_ceil(rate_bps as u128);
-        // bits <= 2^67 and rate >= 1, so ns < 2^97 only in theory; real
-        // packet sizes keep this far below u64::MAX. Saturate regardless.
+        // ns = bits * 1e9 / rate. Every real frame (bytes < ~2.3e9) fits
+        // the u64 fast path; the u128 fall-back exists only so absurd
+        // inputs stay correct. Both paths round identically (div_ceil on
+        // the same integers), so results are bit-equal.
+        if let Some(scaled) = bytes.checked_mul(8_000_000_000) {
+            return SimDuration(scaled.div_ceil(rate_bps));
+        }
+        let ns = (bytes as u128 * 8_000_000_000).div_ceil(rate_bps as u128);
         SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 

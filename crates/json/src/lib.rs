@@ -469,6 +469,14 @@ pub trait FromJson: Sized {
     fn from_json(v: &Json) -> Result<Self, JsonError>;
 }
 
+impl ToJson for Json {
+    /// Identity: lets already-built values (e.g. from [`ObjBuilder`]) nest
+    /// inside another builder without a wrapper type.
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
 macro_rules! num_json {
     ($($t:ty),*) => {$(
         impl ToJson for $t {

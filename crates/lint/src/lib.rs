@@ -63,6 +63,11 @@ pub enum Rule {
     /// `crates/harness`: ad-hoc threads bypass the deterministic sweep
     /// executor and reintroduce schedule-dependent output.
     ThreadSpawn,
+    /// `BinaryHeap` in simulation crates outside `crates/engine`: the
+    /// engine's timing wheel (with its heap oracle) is the one sanctioned
+    /// priority queue; ad-hoc heaps reintroduce the O(log n) hot path and
+    /// risk unstable tie-breaking.
+    BinaryHeap,
     /// A dependency declared in `Cargo.toml` that no source file of the
     /// crate references.
     UnusedDep,
@@ -80,6 +85,7 @@ impl Rule {
             Rule::TruncatingCast => "truncating-cast",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::BinaryHeap => "binary-heap",
             Rule::UnusedDep => "unused-dep",
         }
     }
@@ -95,6 +101,7 @@ impl Rule {
             Rule::TruncatingCast,
             Rule::PanicHygiene,
             Rule::ThreadSpawn,
+            Rule::BinaryHeap,
             Rule::UnusedDep,
         ]
     }
@@ -423,6 +430,17 @@ pub fn scan_str(src: &str, ctx: &FileCtx) -> Vec<Finding> {
                     ),
                 );
             }
+        }
+
+        if ctx.is_sim_crate() && trimmed.contains("BinaryHeap") {
+            push(
+                Rule::BinaryHeap,
+                "BinaryHeap outside crates/engine; the engine's timing wheel is \
+                 the one sanctioned priority queue — schedule through \
+                 dibs_engine::EventQueue (the oracle heap in engine/queue.rs is \
+                 allowlisted)"
+                    .to_string(),
+            );
         }
 
         // --- parallelism ------------------------------------------------
@@ -929,6 +947,22 @@ workspace = true
         let deps = declared_deps(manifest);
         let names: Vec<&str> = deps.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["dibs-net", "serde", "proptest"]);
+    }
+
+    #[test]
+    fn flags_binary_heap_in_sim_crate() {
+        let f = scan_str("use std::collections::BinaryHeap;\n", &sim_ctx());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::BinaryHeap);
+    }
+
+    #[test]
+    fn ignores_binary_heap_in_cli() {
+        let ctx = FileCtx {
+            crate_name: "dibs-cli".to_string(),
+            rel_path: "crates/cli/src/main.rs".to_string(),
+        };
+        assert!(scan_str("use std::collections::BinaryHeap;\n", &ctx).is_empty());
     }
 
     #[test]

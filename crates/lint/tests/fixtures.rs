@@ -67,6 +67,11 @@ fn thread_spawn_fires() {
 }
 
 #[test]
+fn binary_heap_fires() {
+    assert_fires("binary_heap.rs", Rule::BinaryHeap);
+}
+
+#[test]
 fn unused_dep_fires() {
     let dir = fixture("unused_dep_crate");
     let findings = scan_manifest(&dir, "fixtures/unused_dep_crate/");
@@ -97,6 +102,7 @@ fn every_rs_fixture_is_covered() {
         rs_fixtures,
         [
             "ambient_rng.rs",
+            "binary_heap.rs",
             "float_ordering.rs",
             "hash_collections.rs",
             "panic_hygiene.rs",

@@ -16,6 +16,12 @@ use std::collections::VecDeque;
 /// For every `(node, destination host)` pair the FIB stores the set of ports
 /// that lie on *some* shortest path, plus the distance in hops.
 ///
+/// Storage is CSR (compressed sparse row): one contiguous pool of port
+/// numbers indexed by per-`(node, dst)` offsets, plus a flat distance
+/// array. A lookup is two array reads and a slice — no pointer chasing
+/// through nested `Vec`s — and the whole table lives in three allocations,
+/// so the hot forwarding path stays cache-resident.
+///
 /// # Examples
 ///
 /// ```
@@ -30,10 +36,16 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fib {
-    /// `ports[node][dst_host]` = equal-cost out-ports, ascending.
-    ports: Vec<Vec<Vec<u16>>>,
-    /// `dist[node][dst_host]` = shortest hop count (u16::MAX if unreachable).
-    dist: Vec<Vec<u16>>,
+    /// Hosts per row; `(node, dst)` flattens to `node * num_hosts + dst`.
+    num_hosts: usize,
+    /// Concatenated equal-cost out-port lists, node-major then dst-minor,
+    /// each list ascending by port index.
+    port_pool: Vec<u16>,
+    /// `offsets[i]..offsets[i + 1]` bounds entry `i`'s slice of
+    /// `port_pool` (length `num_nodes * num_hosts + 1`).
+    offsets: Vec<u32>,
+    /// Shortest hop count per entry (`u16::MAX` if unreachable).
+    dist: Vec<u16>,
     /// Per-instance ECMP salt so distinct simulations hash differently.
     salt: u64,
 }
@@ -49,8 +61,7 @@ impl Fib {
     pub fn compute_salted(topo: &Topology, salt: u64) -> Self {
         let n = topo.num_nodes();
         let h = topo.num_hosts();
-        let mut ports = vec![vec![Vec::new(); h]; n];
-        let mut dist = vec![vec![u16::MAX; h]; n];
+        let mut dist = vec![u16::MAX; n * h];
 
         // One reverse BFS per destination host. Distances are from each node
         // *to* the destination; a port is usable iff its peer is strictly
@@ -59,53 +70,75 @@ impl Fib {
         for dst in 0..h {
             let dst_host = HostId::from_index(dst);
             let dst_node = topo.host_node(dst_host);
-            let d = &mut dist;
-            d[dst_node.index()][dst] = 0;
+            dist[dst_node.index() * h + dst] = 0;
             queue.clear();
             queue.push_back(dst_node);
             while let Some(u) = queue.pop_front() {
-                let du = d[u.index()][dst];
+                let du = dist[u.index() * h + dst];
                 // Hosts other than the destination do not forward traffic.
                 if topo.is_host(u) && u != dst_node {
                     continue;
                 }
                 for p in &topo.node(u).ports {
                     let v = p.peer;
-                    if d[v.index()][dst] == u16::MAX {
-                        d[v.index()][dst] = du + 1;
+                    if dist[v.index() * h + dst] == u16::MAX {
+                        dist[v.index() * h + dst] = du + 1;
                         queue.push_back(v);
                     }
                 }
             }
-            for node in 0..n {
-                let dn = dist[node][dst];
-                if dn == u16::MAX || dn == 0 {
-                    continue;
+        }
+
+        // CSR assembly: walk entries node-major/dst-minor (the same order
+        // lookups use) appending each equal-cost port list — ascending by
+        // construction of the port iteration — to the shared pool.
+        let mut offsets = Vec::with_capacity(n * h + 1);
+        let mut port_pool = Vec::new();
+        offsets.push(0u32);
+        for node in 0..n {
+            let ports = &topo.node(NodeId::from_index(node)).ports;
+            for dst in 0..h {
+                let dn = dist[node * h + dst];
+                if dn != u16::MAX && dn != 0 {
+                    for (i, p) in ports.iter().enumerate() {
+                        if dist[p.peer.index() * h + dst] == dn - 1 {
+                            port_pool.push(u16::try_from(i).expect("port index fits u16"));
+                        }
+                    }
                 }
-                let entry: Vec<u16> = topo
-                    .node(NodeId::from_index(node))
-                    .ports
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| dist[p.peer.index()][dst] == dn - 1)
-                    .map(|(i, _)| u16::try_from(i).expect("port index fits u16"))
-                    .collect();
-                ports[node][dst] = entry;
+                offsets.push(u32::try_from(port_pool.len()).expect("port pool fits u32"));
             }
         }
-        Fib { ports, dist, salt }
+        Fib {
+            num_hosts: h,
+            port_pool,
+            offsets,
+            dist,
+            salt,
+        }
+    }
+
+    /// Flat index of the `(node, dst)` entry.
+    #[inline]
+    fn entry(&self, node: NodeId, dst: HostId) -> usize {
+        node.index() * self.num_hosts + dst.index()
     }
 
     /// Shortest-path distance from `node` to host `dst`, in hops.
     ///
     /// Returns `u16::MAX` when unreachable.
     pub fn distance(&self, node: NodeId, dst: HostId) -> u16 {
-        self.dist[node.index()][dst.index()]
+        self.dist[self.entry(node, dst)]
     }
 
     /// All equal-cost out-ports from `node` toward `dst`.
     pub fn next_hops(&self, node: NodeId, dst: HostId) -> &[u16] {
-        &self.ports[node.index()][dst.index()]
+        let i = self.entry(node, dst);
+        // u32 -> usize is a widening cast on every supported target.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            &self.port_pool[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        }
     }
 
     /// The ECMP-selected out-port for a given flow, or `None` if the
@@ -124,6 +157,33 @@ impl Fib {
                 #[allow(clippy::cast_possible_truncation)]
                 Some(usize::from(hops[(h % n as u64) as usize]))
             }
+        }
+    }
+
+    /// [`Fib::select_port`] through an [`EcmpMemo`]: the ECMP hash and
+    /// port choice are computed once per `(flow, node, dst)` and replayed
+    /// from the memo for every later packet of the flow at that node.
+    ///
+    /// Behaviorally identical to `select_port` (flow-level ECMP is a pure
+    /// function of the key), so memoization never perturbs a run.
+    pub fn select_port_memo(
+        &self,
+        memo: &mut EcmpMemo,
+        node: NodeId,
+        dst: HostId,
+        flow: FlowId,
+    ) -> Option<usize> {
+        let v = memo.get_or_insert_with(flow, node, dst, || {
+            match self.select_port(node, dst, flow) {
+                // Encode `Some(port)` as `port + 1`, `None` as 0.
+                Some(p) => u64::try_from(p).expect("port index fits u64") + 1,
+                None => 0,
+            }
+        });
+        if v == 0 {
+            None
+        } else {
+            Some(usize::try_from(v - 1).expect("port index fits usize"))
         }
     }
 
@@ -164,6 +224,111 @@ pub fn ecmp_hash(flow: FlowId, node: NodeId, dst: HostId, salt: u64) -> u64 {
     x = splitmix64(x ^ u64::from(flow.0));
     x = splitmix64(x ^ (u64::from(node.0) << 32) ^ u64::from(dst.0));
     splitmix64(x)
+}
+
+/// One direct-mapped memo slot; `node == u32::MAX` marks it empty (no
+/// real topology reaches four billion nodes).
+#[derive(Debug, Clone, Copy)]
+struct MemoSlot {
+    flow: u32,
+    node: u32,
+    dst: u32,
+    value: u64,
+}
+
+impl MemoSlot {
+    const EMPTY: MemoSlot = MemoSlot {
+        flow: u32::MAX,
+        node: u32::MAX,
+        dst: u32::MAX,
+        value: 0,
+    };
+}
+
+/// Direct-mapped memo for per-flow ECMP decisions.
+///
+/// Flow-level ECMP is a pure function of `(flow, node, dst)` (plus the
+/// FIB's fixed salt), yet the hot path recomputes the three-round
+/// `splitmix64` chain for every packet at every hop. This cache keys a
+/// `u64` result on that triple: [`Fib::select_port_memo`] stores the
+/// chosen port, and the switch detour path stores the raw flow hash. On a
+/// collision the old entry is simply replaced — the memo is a pure
+/// accelerator, never a source of nondeterminism, because the cached value
+/// is always exactly what recomputation would produce.
+#[derive(Debug, Clone, Default)]
+pub struct EcmpMemo {
+    /// Power-of-two slot table (lazily sized if constructed via `default`).
+    slots: Vec<MemoSlot>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EcmpMemo {
+    /// Creates a memo with `slots` entries, rounded up to a power of two.
+    ///
+    /// Size it to the expected working set: one entry per concurrently
+    /// active `(flow, node)` pair. The simulator core uses a few thousand
+    /// slots for the whole fabric; a per-switch detour memo needs far
+    /// fewer.
+    pub fn with_slots(slots: usize) -> Self {
+        EcmpMemo {
+            slots: vec![MemoSlot::EMPTY; slots.next_power_of_two().max(64)],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cached lookups served without recomputing.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to `compute`.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the cached value for `(flow, node, dst)`, computing and
+    /// caching it on a miss (or on a direct-mapped collision, which simply
+    /// evicts the previous occupant).
+    pub fn get_or_insert_with(
+        &mut self,
+        flow: FlowId,
+        node: NodeId,
+        dst: HostId,
+        compute: impl FnOnce() -> u64,
+    ) -> u64 {
+        if self.slots.is_empty() {
+            // `default()`-constructed memo: pick a mid-size table.
+            self.slots = vec![MemoSlot::EMPTY; 1024];
+        }
+        debug_assert!(
+            node.0 != u32::MAX || flow.0 != u32::MAX || dst.0 != u32::MAX,
+            "the all-MAX key is reserved as the empty-slot marker",
+        );
+        // One multiply-shift over the packed key; table sizes stay well
+        // below 2^24 so the masked high bits index every slot.
+        let key = u64::from(flow.0)
+            ^ u64::from(node.0).rotate_left(21)
+            ^ u64::from(dst.0).rotate_left(42);
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx =
+            usize::try_from(mixed >> 40).expect("24-bit index fits usize") & (self.slots.len() - 1);
+        let slot = &mut self.slots[idx];
+        if slot.flow == flow.0 && slot.node == node.0 && slot.dst == dst.0 {
+            self.hits += 1;
+            return slot.value;
+        }
+        let value = compute();
+        *slot = MemoSlot {
+            flow: flow.0,
+            node: node.0,
+            dst: dst.0,
+            value,
+        };
+        self.misses += 1;
+        value
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +457,52 @@ mod tests {
                 assert!(fib.next_hops(sw, HostId::from_index(h)).len() <= 1);
             }
         }
+    }
+
+    #[test]
+    fn memoized_select_matches_direct() {
+        let (topo, fib) = k4();
+        let mut memo = EcmpMemo::with_slots(256);
+        for f in 0..200 {
+            for &sw in topo.switch_nodes() {
+                for d in [0u32, 7, 15] {
+                    let dst = HostId(d);
+                    let direct = fib.select_port(sw, dst, FlowId(f));
+                    let via_memo = fib.select_port_memo(&mut memo, sw, dst, FlowId(f));
+                    assert_eq!(direct, via_memo);
+                    // And again, now served from the cache.
+                    assert_eq!(direct, fib.select_port_memo(&mut memo, sw, dst, FlowId(f)));
+                }
+            }
+        }
+        assert!(memo.hits() > 0, "repeat lookups must hit");
+        assert!(memo.misses() > 0);
+    }
+
+    #[test]
+    fn memo_collisions_just_recompute() {
+        let (topo, fib) = k4();
+        // A deliberately tiny memo forces constant evictions; results must
+        // still match the direct computation every time.
+        let mut memo = EcmpMemo::with_slots(1);
+        let edge = topo.host_uplink(HostId(0)).peer;
+        for f in 0..500 {
+            let dst = HostId(15);
+            assert_eq!(
+                fib.select_port(edge, dst, FlowId(f)),
+                fib.select_port_memo(&mut memo, edge, dst, FlowId(f)),
+            );
+        }
+    }
+
+    #[test]
+    fn default_memo_lazily_allocates() {
+        let mut memo = EcmpMemo::default();
+        let v = memo.get_or_insert_with(FlowId(1), NodeId(2), HostId(3), || 42);
+        assert_eq!(v, 42);
+        let again = memo.get_or_insert_with(FlowId(1), NodeId(2), HostId(3), || 7);
+        assert_eq!(again, 42, "second lookup must come from the cache");
+        assert_eq!(memo.hits(), 1);
     }
 
     #[test]

@@ -12,6 +12,21 @@ use dibs_net::packet::Packet;
 use dibs_net::routing::ecmp_hash;
 use dibs_net::{HostId, NodeId};
 
+/// Salt for the flow-based detour hash, distinct from the FIB's ECMP salt
+/// so detour placement does not correlate with shortest-path selection.
+pub const DETOUR_SALT: u64 = 0xD1B5;
+
+/// The flow-based detour hash for `pkt` at `node`: the ECMP mixer keyed on
+/// `(flow, node, dst)` so a flow detours consistently at a given switch
+/// but differently at different switches.
+///
+/// Pure, so callers may memoize it per `(flow, node, dst)` (the switch
+/// core does, via [`dibs_net::routing::EcmpMemo`]) and pass the cached
+/// value to [`DibsPolicy::choose`].
+pub fn detour_flow_hash(pkt: &Packet, node: NodeId) -> u64 {
+    ecmp_hash(pkt.flow, node, HostId(pkt.dst.0), DETOUR_SALT)
+}
+
 /// How a congested switch chooses a detour port.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DibsPolicy {
@@ -58,14 +73,16 @@ impl DibsPolicy {
     /// distinct from the desired port, and have buffer room).
     ///
     /// `occupancy(port)` reports the port's buffer occupancy in `[0, 1]`
-    /// (used by `LoadAware`). Returns `None` when no port is eligible or the
-    /// policy is disabled.
+    /// (used by `LoadAware`). `flow_hash` is the value of
+    /// [`detour_flow_hash`] for this packet at this node (used by
+    /// `FlowBased`); the switch core supplies it from a per-switch memo so
+    /// the hash is mixed once per flow, not once per packet. Returns
+    /// `None` when no port is eligible or the policy is disabled.
     pub fn choose(
         &self,
-        pkt: &Packet,
-        node: NodeId,
         eligible: &[usize],
         occupancy: impl Fn(usize) -> f64,
+        flow_hash: u64,
         rng: &mut SimRng,
     ) -> Option<usize> {
         if eligible.is_empty() {
@@ -89,13 +106,9 @@ impl DibsPolicy {
                 Some(best)
             }
             DibsPolicy::FlowBased => {
-                // Reuse the ECMP mixer keyed on (flow, node, dst) so a flow
-                // detours consistently at a given switch but differently at
-                // different switches.
-                let h = ecmp_hash(pkt.flow, node, HostId(pkt.dst.0), 0xD1B5);
                 // `h % len` is < len, which is a usize.
                 #[allow(clippy::cast_possible_truncation)]
-                Some(eligible[(h % eligible.len() as u64) as usize])
+                Some(eligible[(flow_hash % eligible.len() as u64) as usize])
             }
         }
     }
@@ -120,11 +133,15 @@ mod tests {
         )
     }
 
+    fn hash(flow: u32, node: u32) -> u64 {
+        detour_flow_hash(&pkt(flow), NodeId(node))
+    }
+
     #[test]
     fn disabled_never_detours() {
         let mut rng = SimRng::new(1);
         assert_eq!(
-            DibsPolicy::Disabled.choose(&pkt(0), NodeId(0), &[1, 2, 3], |_| 0.0, &mut rng),
+            DibsPolicy::Disabled.choose(&[1, 2, 3], |_| 0.0, hash(0, 0), &mut rng),
             None
         );
         assert!(!DibsPolicy::Disabled.is_enabled());
@@ -134,7 +151,7 @@ mod tests {
     fn empty_eligible_set_means_drop() {
         let mut rng = SimRng::new(1);
         assert_eq!(
-            DibsPolicy::Random.choose(&pkt(0), NodeId(0), &[], |_| 0.0, &mut rng),
+            DibsPolicy::Random.choose(&[], |_| 0.0, hash(0, 0), &mut rng),
             None
         );
     }
@@ -146,7 +163,7 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             let p = DibsPolicy::Random
-                .choose(&pkt(0), NodeId(0), &eligible, |_| 0.0, &mut rng)
+                .choose(&eligible, |_| 0.0, hash(0, 0), &mut rng)
                 .unwrap();
             assert!(eligible.contains(&p));
             seen.insert(p);
@@ -164,7 +181,7 @@ mod tests {
             _ => 1.0,
         };
         let p = DibsPolicy::LoadAware
-            .choose(&pkt(0), NodeId(0), &[2, 5, 6], occ, &mut rng)
+            .choose(&[2, 5, 6], occ, hash(0, 0), &mut rng)
             .unwrap();
         assert_eq!(p, 5);
     }
@@ -174,11 +191,11 @@ mod tests {
         let mut rng = SimRng::new(7);
         let eligible = [0usize, 1, 2, 3, 4, 5, 6, 7];
         let first = DibsPolicy::FlowBased
-            .choose(&pkt(42), NodeId(3), &eligible, |_| 0.0, &mut rng)
+            .choose(&eligible, |_| 0.0, hash(42, 3), &mut rng)
             .unwrap();
         for _ in 0..10 {
             let again = DibsPolicy::FlowBased
-                .choose(&pkt(42), NodeId(3), &eligible, |_| 0.0, &mut rng)
+                .choose(&eligible, |_| 0.0, hash(42, 3), &mut rng)
                 .unwrap();
             assert_eq!(first, again);
         }
@@ -186,11 +203,26 @@ mod tests {
         for f in 0..64 {
             distinct.insert(
                 DibsPolicy::FlowBased
-                    .choose(&pkt(f), NodeId(3), &eligible, |_| 0.0, &mut rng)
+                    .choose(&eligible, |_| 0.0, hash(f, 3), &mut rng)
                     .unwrap(),
             );
         }
         assert!(distinct.len() > 4, "flow hash should spread: {distinct:?}");
+    }
+
+    #[test]
+    fn detour_hash_matches_ecmp_mixer() {
+        // The memoizable helper must equal the inline mixer it replaced.
+        let p = pkt(42);
+        assert_eq!(
+            detour_flow_hash(&p, NodeId(3)),
+            ecmp_hash(p.flow, NodeId(3), HostId(p.dst.0), DETOUR_SALT)
+        );
+        // And vary by node so detours decorrelate across switches.
+        assert_ne!(
+            detour_flow_hash(&p, NodeId(3)),
+            detour_flow_hash(&p, NodeId(4))
+        );
     }
 
     #[test]

@@ -28,8 +28,17 @@ pub struct PortQueue {
 impl PortQueue {
     /// Creates an empty queue with the given discipline.
     pub fn new(discipline: Discipline) -> Self {
+        Self::with_capacity(discipline, 0)
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` resident packets.
+    ///
+    /// The switch derives `capacity` from its buffer limit so a port never
+    /// reallocates its deque on the data path; admission control still
+    /// happens in the switch, so this is purely an allocation hint.
+    pub fn with_capacity(discipline: Discipline, capacity: usize) -> Self {
         PortQueue {
-            packets: VecDeque::new(),
+            packets: VecDeque::with_capacity(capacity),
             bytes: 0,
             discipline,
         }

@@ -6,11 +6,12 @@
 //! whether they are marked, detoured, or dropped.
 
 use crate::buffer::{BufferConfig, BufferManager};
-use crate::dibs::DibsPolicy;
+use crate::dibs::{detour_flow_hash, DibsPolicy};
 use crate::queue::{Discipline, PortQueue};
 use dibs_engine::rng::SimRng;
 use dibs_net::packet::Packet;
-use dibs_net::NodeId;
+use dibs_net::routing::EcmpMemo;
+use dibs_net::{HostId, NodeId};
 
 /// Static configuration of one switch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,20 +127,53 @@ pub struct SwitchCore {
     counters: SwitchCounters,
     /// Scratch buffer for the eligible-port list (avoids per-packet allocs).
     scratch: Vec<usize>,
+    /// Per-switch memo of flow-based detour hashes (one mix per flow
+    /// instead of one per detoured packet).
+    detour_memo: EcmpMemo,
+}
+
+/// Per-port packet capacity implied by a buffer configuration: how many
+/// resident packets a port queue should pre-size for so the data path
+/// never grows its deque.
+fn port_capacity_hint(buffer: BufferConfig, num_ports: usize) -> usize {
+    /// Conservative wire size used to translate byte budgets to packets.
+    const FULL_PACKET_BYTES: u64 = 1500;
+    match buffer {
+        // No admission bound to derive from; let the deque grow on demand.
+        BufferConfig::Infinite => 0,
+        BufferConfig::StaticPerPort { packets } => packets,
+        BufferConfig::DynamicShared {
+            total_bytes,
+            per_port_reserve_bytes,
+            ..
+        } => {
+            // A port can borrow beyond its fair share, but the steady
+            // state is bounded by the pool split across ports plus the
+            // private reserve; cap the hint so many-port switches do not
+            // over-allocate.
+            let fair = total_bytes / FULL_PACKET_BYTES / num_ports.max(1) as u64;
+            let reserve = per_port_reserve_bytes.div_ceil(FULL_PACKET_BYTES);
+            usize::try_from((fair + reserve).min(512)).expect("hint fits usize")
+        }
+    }
 }
 
 impl SwitchCore {
     /// Creates a switch with `host_facing.len()` ports.
     pub fn new(node: NodeId, config: SwitchConfig, host_facing: Vec<bool>) -> Self {
         let n = host_facing.len();
+        let cap = port_capacity_hint(config.buffer, n);
         SwitchCore {
             node,
             config,
-            queues: (0..n).map(|_| PortQueue::new(config.discipline)).collect(),
+            queues: (0..n)
+                .map(|_| PortQueue::with_capacity(config.discipline, cap))
+                .collect(),
             buffer: BufferManager::new(config.buffer),
             host_facing,
             counters: SwitchCounters::default(),
             scratch: Vec::with_capacity(n),
+            detour_memo: EcmpMemo::with_slots(128),
         }
     }
 
@@ -349,12 +383,22 @@ impl SwitchCore {
                 self.scratch.push(p);
             }
         }
+        // Only the flow-based policy consumes the hash; it is memoized per
+        // (flow, node, dst) so repeat detours of one flow skip the mixer.
+        let flow_hash = if self.config.dibs == DibsPolicy::FlowBased {
+            let node = self.node;
+            self.detour_memo
+                .get_or_insert_with(pkt.flow, node, HostId(pkt.dst.0), || {
+                    detour_flow_hash(pkt, node)
+                })
+        } else {
+            0
+        };
         let scratch = std::mem::take(&mut self.scratch);
         let choice = self.config.dibs.choose(
-            pkt,
-            self.node,
             &scratch,
             |p| self.buffer.occupancy(&self.queues[p]),
+            flow_hash,
             rng,
         );
         self.scratch = scratch;

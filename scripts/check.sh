@@ -33,6 +33,8 @@ if [[ $quick -eq 0 ]]; then
     if [[ $full -eq 1 ]]; then
         echo "==> cargo test --workspace (full: tier-1 + tier-2)"
         cargo test --workspace --offline -q -- --include-ignored
+        echo "==> perf_hotpath --smoke (hot-path bench suite, CI-sized)"
+        cargo run -q -p dibs-bench --release --offline --bin perf_hotpath -- --smoke
     else
         echo "==> cargo test --workspace (fast tier; --full adds tier-2)"
         cargo test --workspace --offline -q
