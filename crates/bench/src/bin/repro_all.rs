@@ -13,6 +13,14 @@
 //! cargo run -p dibs-bench --release --bin repro_all -- --full  # paper-length
 //! cargo run -p dibs-bench --release --bin repro_all -- --jobs 8
 //! ```
+//!
+//! Unrecognized flags (e.g. `--trace all`) are forwarded verbatim to every
+//! child binary, and the `DIBS_TRACE` environment variable is inherited,
+//! so one invocation can trace the whole reproduction. Children that wire
+//! a tracer through [`dibs_bench::Harness::export_trace`] (e.g.
+//! `fig02_detour_timeline`) then write a Chrome-viewable
+//! `results/trace_<id>.json` next to their record. Tracing never changes
+//! the records themselves (see DESIGN.md §2d).
 
 use dibs_harness::Executor;
 use std::process::Command;

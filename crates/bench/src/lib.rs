@@ -80,6 +80,8 @@ pub struct Harness {
     /// Master seed for run-descriptor stream derivation (`--seed` /
     /// `DIBS_SEED`).
     pub master_seed: u64,
+    /// Event-trace spec from `--trace` / `DIBS_TRACE`, if any.
+    pub trace: Option<String>,
 }
 
 impl Default for Harness {
@@ -107,6 +109,7 @@ impl Harness {
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
             .unwrap_or(DEFAULT_MASTER_SEED);
+        let mut trace = std::env::var("DIBS_TRACE").ok();
 
         let mut i = 0;
         while i < args.len() {
@@ -120,10 +123,14 @@ impl Harness {
                     }
                     i += 1;
                 }
+                "--trace" if i + 1 < args.len() => {
+                    trace = Some(args[i + 1].clone());
+                    i += 1;
+                }
                 other => {
                     eprintln!(
                         "warning: unrecognized argument `{other}` \
-                         (expected --quick/--full/--jobs N/--seed N)"
+                         (expected --quick/--full/--jobs N/--seed N/--trace SPEC)"
                     );
                 }
             }
@@ -138,6 +145,52 @@ impl Harness {
             out_dir,
             jobs,
             master_seed,
+            trace,
+        }
+    }
+
+    /// The tracer requested via `--trace` / `DIBS_TRACE`, falling back to
+    /// `default` when neither was given (binaries with their own trace
+    /// needs, like `fig02_detour_timeline`, pass a non-`off` default).
+    ///
+    /// A malformed user spec is reported and degrades to `default` rather
+    /// than silently tracing the wrong kinds.
+    pub fn tracer_or(&self, default: &str) -> dibs::Tracer {
+        let requested = self.trace.as_deref();
+        let spec = requested.unwrap_or(default);
+        match spec.parse::<dibs::TraceSpec>() {
+            Ok(s) => dibs::Tracer::from_spec(&s),
+            Err(e) => {
+                eprintln!("warning: bad trace spec `{spec}` ({e}); using `{default}`");
+                default
+                    .parse::<dibs::TraceSpec>()
+                    .map(|s| dibs::Tracer::from_spec(&s))
+                    .unwrap_or_else(|_| dibs::Tracer::off())
+            }
+        }
+    }
+
+    /// Writes a captured trace as Chrome-viewable JSON next to the
+    /// records, but only when the user explicitly asked to trace (a
+    /// binary's own default tracer stays internal).
+    pub fn export_trace(&self, id: &str, results: &RunResults) {
+        let (Some(_), Some(trace)) = (&self.trace, &results.trace) else {
+            return;
+        };
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("trace_{id}.json"));
+        match std::fs::write(&path, trace.chrome_trace().render_pretty()) {
+            Ok(()) => eprintln!(
+                "trace: {} events ({} observed, {} dropped) -> {} (open in chrome://tracing)",
+                trace.events.len(),
+                trace.observed,
+                trace.dropped,
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
     }
 
@@ -251,6 +304,7 @@ mod finish_tests {
             out_dir: dir.clone(),
             jobs: 1,
             master_seed: DEFAULT_MASTER_SEED,
+            trace: None,
         };
         let mut rec = ExperimentRecord::new("unit_test_record", "t", "x");
         rec.push(SeriesPoint::at(1.0).with("m", 2.0));

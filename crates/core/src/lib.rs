@@ -42,3 +42,7 @@ pub use config::{EcmpMode, PfcConfig, SimConfig, SwitchArch};
 pub use results::{FlowOutcome, PacketPath, QueryOutcome, RunDigest, RunResults};
 pub use rundesc::RunDescriptor;
 pub use sim::Simulation;
+
+// Re-exported so downstream binaries can configure tracing without
+// depending on `dibs-trace` directly.
+pub use dibs_trace::{TraceReport, TraceSpec, Tracer};

@@ -95,6 +95,11 @@ pub struct RunResults {
     pub events_dispatched: u64,
     /// The instant the run stopped.
     pub finished_at: SimTime,
+    /// Event trace captured during the run, when tracing was enabled.
+    ///
+    /// Observational only: NEVER folded into [`RunDigest::of`], so a
+    /// traced run fingerprints identically to an untraced one.
+    pub trace: Option<dibs_trace::TraceReport>,
 }
 
 impl RunResults {
@@ -229,6 +234,7 @@ mod tests {
             pfc_pause_events: 0,
             events_dispatched: 0,
             finished_at: SimTime::ZERO,
+            trace: None,
         }
     }
 

@@ -17,7 +17,8 @@ use dibs_net::routing::{EcmpMemo, Fib};
 use dibs_net::topology::{SwitchLayer, Topology};
 use dibs_stats::{DetourLog, NetCounters, OccupancySnapshot, Samples};
 use dibs_switch::{EnqueueOutcome, SwitchCore};
-use dibs_transport::{IdGen, TcpReceiver, TcpSender};
+use dibs_trace::{TraceEvent, TraceKind, TraceSink, Tracer};
+use dibs_transport::{trace_packet_out, IdGen, TcpReceiver, TcpSender};
 use dibs_workload::{FlowClass, FlowSpec, QuerySpec};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
@@ -182,6 +183,9 @@ pub struct Simulation {
     pause_events: u64,
     /// Debug-build packet-conservation auditor.
     audit: AuditLedger,
+    /// Event-trace sink (`Tracer::Off` by default: one dead branch per
+    /// potential event, nothing recorded, no RNG or scheduling impact).
+    tracer: Tracer,
 }
 
 impl Simulation {
@@ -305,9 +309,19 @@ impl Simulation {
                 .collect(),
             pause_events: 0,
             audit: AuditLedger::new(),
+            tracer: Tracer::off(),
             topo,
             config,
         }
+    }
+
+    /// Installs an event tracer for this run (default: [`Tracer::off`]).
+    ///
+    /// Tracing is observational only: it draws no randomness and
+    /// schedules nothing, so results — and in particular `RunDigest`
+    /// fingerprints — are identical with any tracer installed.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The topology being simulated.
@@ -492,8 +506,12 @@ impl Simulation {
 
     fn on_rto(&mut self, fi: usize, gen: u64) {
         let now = self.engine.now();
-        let pkts = self.flows[fi].sender.on_rto(gen, now, &mut self.ids);
         let src = self.flows[fi].spec.src;
+        let node = self.topo.host_node(src).0;
+        let pkts =
+            self.flows[fi]
+                .sender
+                .on_rto_traced(gen, now, &mut self.ids, node, &mut self.tracer);
         for p in pkts {
             self.host_send(src, p);
         }
@@ -518,6 +536,14 @@ impl Simulation {
 
     fn host_send(&mut self, host: HostId, pkt: Packet) {
         self.counters.packets_sent += 1;
+        if self.tracer.is_enabled() {
+            trace_packet_out(
+                &pkt,
+                self.engine.now().as_nanos(),
+                self.topo.host_node(host).0,
+                &mut self.tracer,
+            );
+        }
         if self.config.trace_paths {
             let node = self.topo.host_node(host);
             self.traces.insert(
@@ -535,6 +561,8 @@ impl Simulation {
             // Qdisc-style local drop; the transport retransmits later.
             self.counters.drops_host_nic += 1;
             self.traces.remove(&pkt.id.0);
+            let node = self.topo.host_node(host).0;
+            self.trace_pkt(TraceKind::Drop, node, &pkt);
             return;
         }
         nic.queue.push_back(pkt);
@@ -562,8 +590,29 @@ impl Simulation {
             .schedule_in(ser, Event::TxComplete { node, port: 0, pkt });
     }
 
+    /// Records a host-side or delivery-side trace event. Costs one dead
+    /// branch when tracing is off; never perturbs simulation state.
+    fn trace_pkt(&mut self, kind: TraceKind, node: u32, pkt: &Packet) {
+        if self.tracer.wants(kind) {
+            self.tracer.record(TraceEvent {
+                t_ns: self.engine.now().as_nanos(),
+                packet: pkt.id.0,
+                flow: pkt.flow.0,
+                node,
+                port: 0,
+                qlen: 0,
+                detours: pkt.detours,
+                kind,
+            });
+        }
+    }
+
     fn deliver(&mut self, host: HostId, pkt: Packet) {
         debug_assert_eq!(pkt.dst, host, "misrouted packet");
+        if self.tracer.is_enabled() {
+            let dst_node = self.topo.host_node(host).0;
+            self.trace_pkt(TraceKind::Deliver, dst_node, &pkt);
+        }
         self.counters.packets_delivered += 1;
         self.counters.delivered_hops += u64::from(pkt.hops);
         if pkt.detours > 0 {
@@ -659,6 +708,7 @@ impl Simulation {
         if !pkt.decrement_ttl() {
             self.counters.drops_ttl += 1;
             self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::TtlExpire, node.0, &pkt);
             return;
         }
         pkt.hops += 1;
@@ -690,6 +740,7 @@ impl Simulation {
             if self.ingress_q[si][ingress].len() >= ingress_packets {
                 self.counters.drops_buffer += 1;
                 self.traces.remove(&pkt.id.0);
+                self.trace_pkt(TraceKind::Drop, node.0, &pkt);
                 return;
             }
             self.ingress_q[si][ingress].push_back(pkt);
@@ -753,7 +804,14 @@ impl Simulation {
 
         let pid = pkt.id.0;
         let ingress = usize::from(pkt.last_ingress);
-        let result = self.switches[si].enqueue(pkt, desired, &mut self.rng_detour);
+        let now_ns = self.engine.now().as_nanos();
+        let result = self.switches[si].enqueue_traced(
+            pkt,
+            desired,
+            &mut self.rng_detour,
+            now_ns,
+            &mut self.tracer,
+        );
         if let Some(displaced) = result.displaced {
             self.counters.drops_displaced += 1;
             self.traces.remove(&displaced.id.0);
@@ -790,7 +848,8 @@ impl Simulation {
         if self.tx_busy[node.index()][port] || self.paused[node.index()][port] {
             return;
         }
-        let Some(pkt) = self.switches[si].dequeue(port) else {
+        let now_ns = self.engine.now().as_nanos();
+        let Some(pkt) = self.switches[si].dequeue_traced(port, now_ns, &mut self.tracer) else {
             return;
         };
         self.tx_busy[node.index()][port] = true;
@@ -992,6 +1051,7 @@ impl Simulation {
         // is delivered, dropped, or still parked in a queue/event.
         self.conservation_check();
         let finished_at = self.engine.now();
+        let queue_hwm = u64::try_from(self.engine.high_watermark()).unwrap_or(u64::MAX);
 
         // Fold in switch and sender counters.
         for sw in &self.switches {
@@ -1063,6 +1123,7 @@ impl Simulation {
             pfc_pause_events: self.pause_events,
             events_dispatched: self.engine.dispatched(),
             finished_at,
+            trace: self.tracer.into_report(queue_hwm),
         }
     }
 }

@@ -50,6 +50,8 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     horizon: SimTime,
+    /// Peak pending-event count ever observed; feeds trace reports.
+    high_watermark: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -65,6 +67,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             horizon: SimTime::MAX,
+            high_watermark: 0,
         }
     }
 
@@ -93,11 +96,21 @@ impl<E> Engine<E> {
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule into the past");
         self.queue.push(at, event);
+        self.note_pending();
     }
 
     /// Schedules `event` after a delay.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.note_pending();
+    }
+
+    #[inline]
+    fn note_pending(&mut self) {
+        let pending = self.queue.len();
+        if pending > self.high_watermark {
+            self.high_watermark = pending;
+        }
     }
 
     /// Pops the next event and advances the clock to its timestamp.
@@ -129,6 +142,14 @@ impl<E> Engine<E> {
     /// Total events dispatched so far.
     pub fn dispatched(&self) -> u64 {
         self.queue.total_popped()
+    }
+
+    /// Largest number of simultaneously pending events ever observed.
+    ///
+    /// Purely observational (surfaced through trace reports); never part
+    /// of run digests, so it cannot perturb golden fingerprints.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
     }
 
     /// Direct access to the event queue (mainly for benchmarks).
@@ -169,6 +190,23 @@ mod tests {
             last = e.now();
         }
         assert_eq!(e.dispatched(), 50);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_pending() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.high_watermark(), 0);
+        e.schedule_at(SimTime::from_millis(1), 1);
+        e.schedule_at(SimTime::from_millis(2), 2);
+        e.schedule_at(SimTime::from_millis(3), 3);
+        assert_eq!(e.high_watermark(), 3);
+        // Draining does not lower the watermark.
+        while e.next_event().is_some() {}
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.high_watermark(), 3);
+        // A smaller later burst does not raise it.
+        e.schedule_in(SimDuration::from_millis(1), 4);
+        assert_eq!(e.high_watermark(), 3);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: stdio printing in library code. Every macro line below must
+// trip `println-in-lib`; a `writeln!` into a caller-supplied buffer (the
+// sanctioned shape) must not.
+
+pub fn report_totals(delivered: u64, dropped: u64) {
+    println!("delivered {delivered}");
+    eprintln!("dropped {dropped}");
+    print!("delivered {delivered} ");
+    eprint!("dropped {dropped} ");
+}

@@ -71,6 +71,11 @@ pub enum Rule {
     /// A dependency declared in `Cargo.toml` that no source file of the
     /// crate references.
     UnusedDep,
+    /// `println!`/`eprintln!` (and the no-newline forms) in library
+    /// sources: libraries return data; stdio belongs to binary targets
+    /// (`src/bin/`, `main.rs`). Stray prints corrupt `--json` output and
+    /// the digest lines `scripts/check.sh` diffs.
+    PrintlnInLib,
 }
 
 impl Rule {
@@ -87,6 +92,7 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::BinaryHeap => "binary-heap",
             Rule::UnusedDep => "unused-dep",
+            Rule::PrintlnInLib => "println-in-lib",
         }
     }
 
@@ -103,6 +109,7 @@ impl Rule {
             Rule::ThreadSpawn,
             Rule::BinaryHeap,
             Rule::UnusedDep,
+            Rule::PrintlnInLib,
         ]
     }
 }
@@ -311,6 +318,13 @@ impl FileCtx {
         self.crate_name == "dibs-harness" && !self.is_strict()
     }
 
+    /// Library sources, where stdio printing is forbidden. Binary
+    /// targets (`src/bin/…`, `src/main.rs`) own stdout/stderr.
+    fn is_library_source(&self) -> bool {
+        let p = &self.rel_path;
+        self.is_strict() || !(p.contains("/bin/") || p.ends_with("main.rs"))
+    }
+
     /// Files that account for packets, bytes, or buffer occupancy.
     fn is_accounting_file(&self) -> bool {
         let p = &self.rel_path;
@@ -455,6 +469,33 @@ pub fn scan_str(src: &str, ctx: &FileCtx) -> Vec<Finding> {
                  go through dibs_harness::Executor so sweeps stay deterministic"
                     .to_string(),
             );
+        }
+
+        // --- stdio hygiene ----------------------------------------------
+        // Checked longest-name-first: `eprintln!` contains `println!` as a
+        // substring, so one line reports one macro, not two.
+        if ctx.is_library_source() {
+            let stdio_macro = if trimmed.contains("eprintln!") {
+                Some("eprintln!")
+            } else if trimmed.contains("println!") {
+                Some("println!")
+            } else if trimmed.contains("eprint!") {
+                Some("eprint!")
+            } else if trimmed.contains("print!") {
+                Some("print!")
+            } else {
+                None
+            };
+            if let Some(mac) = stdio_macro {
+                push(
+                    Rule::PrintlnInLib,
+                    format!(
+                        "`{mac}` in library code; return data and let a binary \
+                         target (src/bin, main.rs) print it, or allowlist the \
+                         harness file in lint.toml with a reason"
+                    ),
+                );
+            }
         }
 
         // --- panic hygiene ----------------------------------------------
@@ -837,6 +878,27 @@ mod tests {
             rel_path: "crates/cli/src/main.rs".to_string(),
         };
         assert!(scan_str("use std::collections::HashMap;\n", &ctx).is_empty());
+    }
+
+    #[test]
+    fn println_flagged_in_lib_but_not_in_bin() {
+        let lib = FileCtx {
+            crate_name: "dibs-cli".to_string(),
+            rel_path: "crates/cli/src/report.rs".to_string(),
+        };
+        let f = scan_str("    eprintln!(\"oops\");\n    println!(\"hi\");\n", &lib);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::PrintlnInLib));
+        assert!(f[0].message.contains("eprintln!"), "{}", f[0].message);
+        assert!(f[1].message.contains("println!"), "{}", f[1].message);
+
+        for bin_path in ["crates/cli/src/bin/dibs_sim.rs", "crates/cli/src/main.rs"] {
+            let bin = FileCtx {
+                crate_name: "dibs-cli".to_string(),
+                rel_path: bin_path.to_string(),
+            };
+            assert!(scan_str("println!(\"hi\");\n", &bin).is_empty());
+        }
     }
 
     #[test]

@@ -67,6 +67,11 @@ fn thread_spawn_fires() {
 }
 
 #[test]
+fn println_in_lib_fires() {
+    assert_fires("println_in_lib.rs", Rule::PrintlnInLib);
+}
+
+#[test]
 fn binary_heap_fires() {
     assert_fires("binary_heap.rs", Rule::BinaryHeap);
 }
@@ -106,6 +111,7 @@ fn every_rs_fixture_is_covered() {
             "float_ordering.rs",
             "hash_collections.rs",
             "panic_hygiene.rs",
+            "println_in_lib.rs",
             "thread_spawn.rs",
             "truncating_cast.rs",
             "unchecked_sub.rs",

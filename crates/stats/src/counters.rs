@@ -191,6 +191,61 @@ mod tests {
     }
 
     #[test]
+    fn merge_across_shards_equals_direct_sum() {
+        // Eight per-worker shards, each with a distinct per-field pattern,
+        // folded pairwise in two different orders: both folds must equal
+        // the straight per-field sum (merge is associative + commutative).
+        let shards: Vec<NetCounters> = (0..8u64)
+            .map(|i| NetCounters {
+                packets_sent: 10 + i,
+                packets_delivered: 20 + 2 * i,
+                drops_buffer: i % 3,
+                drops_ttl: i % 2,
+                drops_host_nic: i,
+                detours: 100 * i,
+                delivered_detoured: 3 * i,
+                ecn_marks: 7 * i,
+                rto_timeouts: i / 2,
+                delivered_hops: 50 + i,
+                query_pkts_delivered: 5 * i,
+                bg_pkts_delivered: 4 * i,
+                bg_pkts_detoured: i % 4,
+                ..Default::default()
+            })
+            .collect();
+
+        let mut forward = NetCounters::default();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut reverse = NetCounters::default();
+        for s in shards.iter().rev() {
+            reverse.merge(s);
+        }
+        assert_eq!(forward, reverse);
+
+        assert_eq!(forward.packets_sent, (0..8).map(|i| 10 + i).sum::<u64>());
+        assert_eq!(forward.detours, (0..8).map(|i| 100 * i).sum::<u64>());
+        assert_eq!(
+            forward.total_drops(),
+            shards.iter().map(NetCounters::total_drops).sum::<u64>()
+        );
+
+        // Merging the identity changes nothing.
+        let before = forward;
+        forward.merge(&NetCounters::default());
+        assert_eq!(forward, before);
+    }
+
+    #[test]
+    fn fractions_on_empty_counters_are_zero_not_nan() {
+        let c = NetCounters::default();
+        assert_eq!(c.bg_detoured_fraction(), 0.0);
+        assert_eq!(c.detoured_query_share(), 0.0);
+        assert_eq!(c.detoured_fraction(), 0.0);
+    }
+
+    #[test]
     fn json_roundtrip() {
         let c = NetCounters {
             packets_sent: 10,

@@ -135,4 +135,57 @@ mod tests {
     fn empty_series_max() {
         assert_eq!(TimeSeries::new().max_value(), None);
     }
+
+    #[test]
+    fn empty_series_is_empty_and_default() {
+        let ts = TimeSeries::default();
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.points, Vec::new());
+    }
+
+    #[test]
+    fn single_sample_series() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_micros(250), 7.5);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.max_value(), Some(7.5));
+        assert_eq!(ts.points[0], (0.000_25, 7.5));
+    }
+
+    #[test]
+    fn max_handles_negative_values() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::ZERO, -3.0);
+        ts.push(SimTime::from_micros(1), -1.5);
+        assert_eq!(ts.max_value(), Some(-1.5));
+    }
+
+    #[test]
+    fn detour_log_under_cap_is_not_truncated() {
+        let mut log = DetourLog::new(8);
+        log.record(SimTime::from_micros(1), 3, 1);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.observed, 1);
+        assert!(!log.truncated());
+        assert_eq!(
+            log.events[0],
+            DetourEvent {
+                time_s: 1e-6,
+                switch: 3,
+                layer: 1
+            }
+        );
+    }
+
+    #[test]
+    fn detour_log_zero_cap_records_nothing_but_counts() {
+        let mut log = DetourLog::new(0);
+        log.record(SimTime::ZERO, 0, 0);
+        log.record(SimTime::from_micros(1), 1, 2);
+        assert!(log.events.is_empty());
+        assert_eq!(log.observed, 2);
+        assert!(log.truncated());
+    }
 }

@@ -12,6 +12,7 @@ use dibs_engine::rng::SimRng;
 use dibs_net::packet::Packet;
 use dibs_net::routing::EcmpMemo;
 use dibs_net::{HostId, NodeId};
+use dibs_trace::{NullSink, TraceEvent, TraceKind, TraceSink};
 
 /// Static configuration of one switch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -249,8 +250,25 @@ impl SwitchCore {
     /// Offers `pkt` to the switch for transmission out of `desired_port`.
     ///
     /// Implements the full §2/§4 data path: ECN threshold marking, DIBS
-    /// detouring on overflow, pFabric priority displacement.
+    /// detouring on overflow, pFabric priority displacement. Untraced
+    /// convenience wrapper around [`SwitchCore::enqueue_traced`].
     pub fn enqueue(&mut self, pkt: Packet, desired_port: usize, rng: &mut SimRng) -> EnqueueResult {
+        self.enqueue_traced(pkt, desired_port, rng, 0, &mut NullSink)
+    }
+
+    /// [`SwitchCore::enqueue`] with trace emission: every queue
+    /// transition (enqueue, detour, ECN mark, drop, displacement) is
+    /// reported through `sink`, stamped with simulated time `t_ns`. The
+    /// sink is consulted via [`TraceSink::wants`] before any event is
+    /// built, so a disabled sink costs one branch per transition.
+    pub fn enqueue_traced<S: TraceSink>(
+        &mut self,
+        pkt: Packet,
+        desired_port: usize,
+        rng: &mut SimRng,
+        t_ns: u64,
+        sink: &mut S,
+    ) -> EnqueueResult {
         debug_assert!(desired_port < self.queues.len());
         let fits = self
             .buffer
@@ -264,20 +282,23 @@ impl SwitchCore {
                 .early_detour_probability(self.occupancy(desired_port));
             if p_early > 0.0 && rng.chance(p_early) {
                 if let Some(port) = self.pick_detour(&pkt, desired_port, rng) {
-                    return self.admit_detour(pkt, port);
+                    return self.admit_detour(pkt, port, t_ns, sink);
                 }
             }
-            return self.admit(pkt, desired_port);
+            return self.admit(pkt, desired_port, t_ns, sink);
         }
 
         // Desired queue full.
         if self.config.discipline == Discipline::Pfabric {
-            return self.pfabric_displace(pkt, desired_port);
+            return self.pfabric_displace(pkt, desired_port, t_ns, sink);
         }
         match self.pick_detour(&pkt, desired_port, rng) {
-            Some(port) => self.admit_detour(pkt, port),
+            Some(port) => self.admit_detour(pkt, port, t_ns, sink),
             None => {
                 self.counters.dropped_full += 1;
+                if sink.wants(TraceKind::Drop) {
+                    sink.record(self.queue_event(TraceKind::Drop, t_ns, &pkt, desired_port));
+                }
                 EnqueueResult {
                     outcome: EnqueueOutcome::Dropped(DropReason::BufferFull),
                     displaced: None,
@@ -286,13 +307,43 @@ impl SwitchCore {
         }
     }
 
-    /// Removes the next packet to transmit from `port`.
+    /// Removes the next packet to transmit from `port`. Untraced
+    /// convenience wrapper around [`SwitchCore::dequeue_traced`].
     pub fn dequeue(&mut self, port: usize) -> Option<Packet> {
+        self.dequeue_traced(port, 0, &mut NullSink)
+    }
+
+    /// [`SwitchCore::dequeue`] with trace emission; the `Dequeue` event
+    /// carries the port's depth after the pop.
+    pub fn dequeue_traced<S: TraceSink>(
+        &mut self,
+        port: usize,
+        t_ns: u64,
+        sink: &mut S,
+    ) -> Option<Packet> {
         let pkt = self.queues[port].pop()?;
         self.buffer.on_dequeue(pkt.wire_bytes);
         self.counters.dequeued += 1;
         self.debug_audit_port(port);
+        if sink.wants(TraceKind::Dequeue) {
+            sink.record(self.queue_event(TraceKind::Dequeue, t_ns, &pkt, port));
+        }
         Some(pkt)
+    }
+
+    /// Builds a queue-transition event for `pkt` at `port`; `qlen` is the
+    /// port's current depth (i.e. already reflecting the transition).
+    fn queue_event(&self, kind: TraceKind, t_ns: u64, pkt: &Packet, port: usize) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            packet: pkt.id.0,
+            flow: pkt.flow.0,
+            node: self.node.0,
+            port: u16::try_from(port).unwrap_or(u16::MAX),
+            qlen: u16::try_from(self.queues[port].len()).unwrap_or(u16::MAX),
+            detours: pkt.detours,
+            kind,
+        }
     }
 
     /// Debug-build audit of the per-port buffer invariants after any
@@ -322,32 +373,79 @@ impl SwitchCore {
         }
     }
 
-    fn admit(&mut self, mut pkt: Packet, port: usize) -> EnqueueResult {
-        self.maybe_mark(&mut pkt, port, false);
+    fn admit<S: TraceSink>(
+        &mut self,
+        mut pkt: Packet,
+        port: usize,
+        t_ns: u64,
+        sink: &mut S,
+    ) -> EnqueueResult {
+        self.maybe_mark(&mut pkt, port, false, t_ns, sink);
         self.buffer.on_enqueue(pkt.wire_bytes);
+        let traced = sink.wants(TraceKind::Enqueue);
+        let snapshot = traced.then_some((pkt.id.0, pkt.flow.0, pkt.detours));
         self.queues[port].push(pkt);
         self.counters.enqueued += 1;
         self.debug_audit_port(port);
+        if let Some((packet, flow, detours)) = snapshot {
+            sink.record(TraceEvent {
+                t_ns,
+                packet,
+                flow,
+                node: self.node.0,
+                port: u16::try_from(port).unwrap_or(u16::MAX),
+                qlen: u16::try_from(self.queues[port].len()).unwrap_or(u16::MAX),
+                detours,
+                kind: TraceKind::Enqueue,
+            });
+        }
         EnqueueResult {
             outcome: EnqueueOutcome::Enqueued { port },
             displaced: None,
         }
     }
 
-    fn admit_detour(&mut self, mut pkt: Packet, port: usize) -> EnqueueResult {
+    fn admit_detour<S: TraceSink>(
+        &mut self,
+        mut pkt: Packet,
+        port: usize,
+        t_ns: u64,
+        sink: &mut S,
+    ) -> EnqueueResult {
         pkt.detours += 1;
-        self.maybe_mark(&mut pkt, port, true);
+        self.maybe_mark(&mut pkt, port, true, t_ns, sink);
         self.buffer.on_enqueue(pkt.wire_bytes);
+        let traced = sink.wants(TraceKind::Detour);
+        let snapshot = traced.then_some((pkt.id.0, pkt.flow.0, pkt.detours));
         self.queues[port].push(pkt);
         self.counters.detoured += 1;
         self.debug_audit_port(port);
+        if let Some((packet, flow, detours)) = snapshot {
+            sink.record(TraceEvent {
+                t_ns,
+                packet,
+                flow,
+                node: self.node.0,
+                port: u16::try_from(port).unwrap_or(u16::MAX),
+                qlen: u16::try_from(self.queues[port].len()).unwrap_or(u16::MAX),
+                detours,
+                kind: TraceKind::Detour,
+            });
+        }
         EnqueueResult {
             outcome: EnqueueOutcome::Detoured { port },
             displaced: None,
         }
     }
 
-    fn maybe_mark(&mut self, pkt: &mut Packet, port: usize, detoured: bool) {
+    fn maybe_mark<S: TraceSink>(
+        &mut self,
+        pkt: &mut Packet,
+        port: usize,
+        detoured: bool,
+        t_ns: u64,
+        sink: &mut S,
+    ) {
         if !pkt.is_data() {
             // DCTCP marks data packets; acks are not marked.
             return;
@@ -359,6 +457,9 @@ impl SwitchCore {
         if over_threshold || (detoured && self.config.mark_detoured) {
             if !pkt.ce {
                 self.counters.marked += 1;
+                if sink.wants(TraceKind::EcnMark) {
+                    sink.record(self.queue_event(TraceKind::EcnMark, t_ns, pkt, port));
+                }
             }
             pkt.mark_ce();
         }
@@ -405,13 +506,22 @@ impl SwitchCore {
         choice
     }
 
-    fn pfabric_displace(&mut self, pkt: Packet, port: usize) -> EnqueueResult {
+    fn pfabric_displace<S: TraceSink>(
+        &mut self,
+        pkt: Packet,
+        port: usize,
+        t_ns: u64,
+        sink: &mut S,
+    ) -> EnqueueResult {
         // pFabric (§5.8): on overflow, drop the lowest-priority resident if
         // the arrival beats it; otherwise drop the arrival.
         let q = &mut self.queues[port];
         let Some(worst_idx) = q.lowest_priority_index() else {
             // Queue capacity zero: nothing to displace.
             self.counters.dropped_full += 1;
+            if sink.wants(TraceKind::Drop) {
+                sink.record(self.queue_event(TraceKind::Drop, t_ns, &pkt, port));
+            }
             return EnqueueResult {
                 outcome: EnqueueOutcome::Dropped(DropReason::BufferFull),
                 displaced: None,
@@ -422,16 +532,37 @@ impl SwitchCore {
             let displaced = q.remove(worst_idx);
             self.buffer.on_dequeue(displaced.wire_bytes);
             self.buffer.on_enqueue(pkt.wire_bytes);
+            let traced = sink.wants(TraceKind::Enqueue);
+            let snapshot = traced.then_some((pkt.id.0, pkt.flow.0, pkt.detours));
             self.queues[port].push(pkt);
             self.counters.displaced += 1;
             self.counters.enqueued += 1;
             self.debug_audit_port(port);
+            if sink.wants(TraceKind::Drop) {
+                // The displaced resident leaves the fabric here.
+                sink.record(self.queue_event(TraceKind::Drop, t_ns, &displaced, port));
+            }
+            if let Some((packet, flow, detours)) = snapshot {
+                sink.record(TraceEvent {
+                    t_ns,
+                    packet,
+                    flow,
+                    node: self.node.0,
+                    port: u16::try_from(port).unwrap_or(u16::MAX),
+                    qlen: u16::try_from(self.queues[port].len()).unwrap_or(u16::MAX),
+                    detours,
+                    kind: TraceKind::Enqueue,
+                });
+            }
             EnqueueResult {
                 outcome: EnqueueOutcome::Enqueued { port },
                 displaced: Some(displaced),
             }
         } else {
             self.counters.dropped_full += 1;
+            if sink.wants(TraceKind::Drop) {
+                sink.record(self.queue_event(TraceKind::Drop, t_ns, &pkt, port));
+            }
             EnqueueResult {
                 outcome: EnqueueOutcome::Dropped(DropReason::PriorityDisplaced),
                 displaced: None,
@@ -575,6 +706,62 @@ mod tests {
             sw.dequeue(1);
         }
         assert!(!sw.dequeue(1).unwrap().ce);
+    }
+
+    #[test]
+    fn traced_enqueue_reports_queue_transitions() {
+        use dibs_trace::{KindMask, TraceBuffer};
+        let mut sw = tiny_switch(DibsPolicy::Random, 2);
+        let mut rng = SimRng::new(1);
+        let mut buf = TraceBuffer::new(KindMask::ALL);
+        sw.enqueue_traced(pkt(1), 0, &mut rng, 100, &mut buf);
+        sw.enqueue_traced(pkt(2), 0, &mut rng, 200, &mut buf);
+        // Port 0 is full: packet 3 must detour (and be CE-marked doing so).
+        sw.enqueue_traced(pkt(3), 0, &mut rng, 300, &mut buf);
+        sw.dequeue_traced(0, 400, &mut buf);
+        let kinds: Vec<TraceKind> = buf.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Enqueue,
+                TraceKind::Enqueue,
+                TraceKind::EcnMark,
+                TraceKind::Detour,
+                TraceKind::Dequeue,
+            ]
+        );
+        // Enqueue events carry the depth after the push.
+        assert_eq!(buf.events()[0].qlen, 1);
+        assert_eq!(buf.events()[1].qlen, 2);
+        // The detour event carries the incremented detour count.
+        assert_eq!(buf.events()[3].detours, 1);
+        assert_eq!(buf.events()[3].packet, 3);
+        assert_ne!(buf.events()[3].port, 0, "detour lands on another port");
+        // Dequeue pops packet 1, leaving one resident on port 0.
+        assert_eq!(buf.events()[4].packet, 1);
+        assert_eq!(buf.events()[4].qlen, 1);
+    }
+
+    #[test]
+    fn untraced_and_traced_paths_agree() {
+        use dibs_trace::{KindMask, TraceBuffer};
+        // The same seed must produce the same outcomes whether or not a
+        // sink observes the run (tracing consumes no randomness).
+        let run = |traced: bool| -> (u64, u64, u64) {
+            let mut sw = tiny_switch(DibsPolicy::Random, 2);
+            let mut rng = SimRng::new(7);
+            let mut buf = TraceBuffer::new(KindMask::ALL);
+            for i in 0..12 {
+                if traced {
+                    sw.enqueue_traced(pkt(i), 0, &mut rng, i * 10, &mut buf);
+                } else {
+                    sw.enqueue(pkt(i), 0, &mut rng);
+                }
+            }
+            let c = sw.counters();
+            (c.enqueued, c.detoured, c.dropped_full)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

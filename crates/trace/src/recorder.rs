@@ -1,0 +1,409 @@
+//! Concrete sinks ([`FlightRecorder`], [`TraceBuffer`]), the runtime
+//! [`Tracer`] switch, spec parsing, and the final [`TraceReport`].
+
+use crate::event::{KindMask, TraceEvent, TraceKind};
+use crate::sink::TraceSink;
+
+/// Default flight-recorder capacity (events) when the spec omits one.
+pub const DEFAULT_FLIGHT_CAP: usize = 4096;
+
+/// A fixed-capacity ring buffer that always holds the *last* N matching
+/// events — the black-box recorder. Recording is O(1) with no
+/// allocation after the first lap, so it is safe to leave on for long
+/// runs.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    observed: u64,
+    mask: KindMask,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `cap` events matching `mask`.
+    /// A zero capacity is clamped to 1.
+    pub fn new(cap: usize, mask: KindMask) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(cap.min(DEFAULT_FLIGHT_CAP)),
+            cap,
+            next: 0,
+            observed: 0,
+            mask,
+        }
+    }
+
+    /// Total events offered to the recorder (kept or overwritten).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The retained window, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.cap {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    #[inline]
+    fn wants(&self, kind: TraceKind) -> bool {
+        self.mask.wants(kind)
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        self.observed += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+}
+
+/// An unbounded capture buffer for full-fidelity tracing (`--trace all`).
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    mask: KindMask,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer capturing every event matching `mask`.
+    pub fn new(mask: KindMask) -> TraceBuffer {
+        TraceBuffer {
+            events: Vec::new(),
+            mask,
+        }
+    }
+
+    /// The captured events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    #[inline]
+    fn wants(&self, kind: TraceKind) -> bool {
+        self.mask.wants(kind)
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// Which sink a [`TraceSpec`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Tracing disabled.
+    Off,
+    /// Last-N ring buffer.
+    Flight,
+    /// Unbounded full capture.
+    Full,
+}
+
+impl TraceMode {
+    /// Stable lowercase label used in dumps and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Flight => "flight",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+/// A parsed `--trace` / `DIBS_TRACE` specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Which sink to install.
+    pub mode: TraceMode,
+    /// Ring capacity, used when `mode` is [`TraceMode::Flight`].
+    pub flight_cap: usize,
+    /// Which event kinds to keep.
+    pub kinds: KindMask,
+}
+
+impl TraceSpec {
+    /// The disabled spec.
+    pub fn off() -> TraceSpec {
+        TraceSpec {
+            mode: TraceMode::Off,
+            flight_cap: DEFAULT_FLIGHT_CAP,
+            kinds: KindMask::NONE,
+        }
+    }
+
+    /// Parses a spec string; see the crate docs for the grammar.
+    pub fn parse(spec: &str) -> Result<TraceSpec, String> {
+        let spec = spec.trim();
+        match spec {
+            "" | "off" | "none" => return Ok(TraceSpec::off()),
+            "all" => {
+                return Ok(TraceSpec {
+                    mode: TraceMode::Full,
+                    flight_cap: DEFAULT_FLIGHT_CAP,
+                    kinds: KindMask::ALL,
+                })
+            }
+            _ => {}
+        }
+        if let Some(rest) = spec.strip_prefix("flight") {
+            let mut cap = DEFAULT_FLIGHT_CAP;
+            let mut kinds = KindMask::ALL;
+            for tok in rest.split(':') {
+                let tok = tok.trim();
+                if tok.is_empty() {
+                    continue;
+                }
+                if let Ok(n) = tok.parse::<usize>() {
+                    if n == 0 {
+                        return Err("flight capacity must be > 0".to_string());
+                    }
+                    cap = n;
+                } else {
+                    kinds = KindMask::parse(tok)?;
+                }
+            }
+            return Ok(TraceSpec {
+                mode: TraceMode::Flight,
+                flight_cap: cap,
+                kinds,
+            });
+        }
+        // Bare kind list: full capture of exactly those kinds.
+        Ok(TraceSpec {
+            mode: TraceMode::Full,
+            flight_cap: DEFAULT_FLIGHT_CAP,
+            kinds: KindMask::parse(spec)?,
+        })
+    }
+}
+
+impl std::str::FromStr for TraceSpec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<TraceSpec, String> {
+        TraceSpec::parse(s)
+    }
+}
+
+/// The runtime tracing switch a simulation carries.
+///
+/// Stored as a concrete enum (not a generic parameter) so enabling a
+/// trace never changes the simulation's type; the `Off` arm makes
+/// [`TraceSink::wants`] a constant `false`, preserving the
+/// zero-overhead-when-disabled property.
+#[derive(Debug, Clone)]
+pub enum Tracer {
+    /// Tracing disabled (the default).
+    Off,
+    /// Last-N flight recording.
+    Flight(FlightRecorder),
+    /// Full capture.
+    Full(TraceBuffer),
+}
+
+impl Tracer {
+    /// The disabled tracer.
+    pub fn off() -> Tracer {
+        Tracer::Off
+    }
+
+    /// Builds the tracer a spec asks for.
+    pub fn from_spec(spec: &TraceSpec) -> Tracer {
+        match spec.mode {
+            TraceMode::Off => Tracer::Off,
+            TraceMode::Flight => Tracer::Flight(FlightRecorder::new(spec.flight_cap, spec.kinds)),
+            TraceMode::Full => Tracer::Full(TraceBuffer::new(spec.kinds)),
+        }
+    }
+
+    /// Whether any events can be recorded.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, Tracer::Off)
+    }
+
+    /// Consumes the tracer into a report; `None` when tracing was off.
+    /// `queue_high_watermark` is the engine's peak pending-event count,
+    /// carried alongside the events for the text dump.
+    pub fn into_report(self, queue_high_watermark: u64) -> Option<TraceReport> {
+        match self {
+            Tracer::Off => None,
+            Tracer::Flight(rec) => {
+                let observed = rec.observed();
+                let events = rec.events();
+                let dropped =
+                    observed.saturating_sub(u64::try_from(events.len()).unwrap_or(u64::MAX));
+                Some(TraceReport {
+                    mode: TraceMode::Flight,
+                    kinds: rec.mask,
+                    events,
+                    observed,
+                    dropped,
+                    queue_high_watermark,
+                })
+            }
+            Tracer::Full(buf) => {
+                let observed = u64::try_from(buf.events.len()).unwrap_or(u64::MAX);
+                Some(TraceReport {
+                    mode: TraceMode::Full,
+                    kinds: buf.mask,
+                    events: buf.events,
+                    observed,
+                    dropped: 0,
+                    queue_high_watermark,
+                })
+            }
+        }
+    }
+}
+
+impl TraceSink for Tracer {
+    #[inline]
+    fn wants(&self, kind: TraceKind) -> bool {
+        match self {
+            Tracer::Off => false,
+            Tracer::Flight(r) => r.wants(kind),
+            Tracer::Full(b) => b.wants(kind),
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        match self {
+            Tracer::Off => {}
+            Tracer::Flight(r) => r.record(ev),
+            Tracer::Full(b) => b.record(ev),
+        }
+    }
+}
+
+/// The finished trace attached to a run's results.
+///
+/// Deliberately *not* part of `RunDigest`: digests must be identical
+/// whether or not a run was traced.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// How the events were captured.
+    pub mode: TraceMode,
+    /// The kind filter that was active.
+    pub kinds: KindMask,
+    /// Captured events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Total events offered to the sink (≥ `events.len()`).
+    pub observed: u64,
+    /// Events the flight ring overwrote (`observed - events.len()`).
+    pub dropped: u64,
+    /// Peak simultaneously-pending event count in the engine queue.
+    pub queue_high_watermark: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            packet: t,
+            flow: 0,
+            node: 0,
+            port: 0,
+            qlen: 0,
+            detours: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn flight_ring_keeps_last_n() {
+        let mut r = FlightRecorder::new(3, KindMask::ALL);
+        for t in 0..10 {
+            r.record(ev(t, TraceKind::Enqueue));
+        }
+        assert_eq!(r.observed(), 10);
+        let kept: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn flight_ring_under_capacity_keeps_all_in_order() {
+        let mut r = FlightRecorder::new(8, KindMask::ALL);
+        for t in 0..3 {
+            r.record(ev(t, TraceKind::Send));
+        }
+        let kept: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spec_grammar() {
+        assert_eq!(TraceSpec::parse("off").unwrap().mode, TraceMode::Off);
+        assert_eq!(TraceSpec::parse("none").unwrap().mode, TraceMode::Off);
+        let all = TraceSpec::parse("all").unwrap();
+        assert_eq!(all.mode, TraceMode::Full);
+        assert_eq!(all.kinds, KindMask::ALL);
+        let f = TraceSpec::parse("flight:128:detour,drop").unwrap();
+        assert_eq!(f.mode, TraceMode::Flight);
+        assert_eq!(f.flight_cap, 128);
+        assert!(f.kinds.wants(TraceKind::Detour));
+        assert!(!f.kinds.wants(TraceKind::Send));
+        let k = TraceSpec::parse("enqueue,dequeue").unwrap();
+        assert_eq!(k.mode, TraceMode::Full);
+        assert!(k.kinds.wants(TraceKind::Dequeue));
+        assert!(TraceSpec::parse("flight:0").is_err());
+        assert!(TraceSpec::parse("wibble").is_err());
+    }
+
+    #[test]
+    fn tracer_off_wants_nothing_and_reports_none() {
+        let t = Tracer::off();
+        assert!(!t.is_enabled());
+        for k in TraceKind::ALL {
+            assert!(!t.wants(k));
+        }
+        assert!(t.into_report(0).is_none());
+    }
+
+    #[test]
+    fn tracer_filters_by_kind() {
+        let spec = TraceSpec::parse("detour").unwrap();
+        let mut t = Tracer::from_spec(&spec);
+        assert!(t.wants(TraceKind::Detour));
+        assert!(!t.wants(TraceKind::Enqueue));
+        t.record(ev(5, TraceKind::Detour));
+        let rep = t.into_report(42).unwrap();
+        assert_eq!(rep.events.len(), 1);
+        assert_eq!(rep.observed, 1);
+        assert_eq!(rep.dropped, 0);
+        assert_eq!(rep.queue_high_watermark, 42);
+    }
+
+    #[test]
+    fn flight_report_counts_overwrites() {
+        let spec = TraceSpec::parse("flight:2").unwrap();
+        let mut t = Tracer::from_spec(&spec);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Drop));
+        }
+        let rep = t.into_report(0).unwrap();
+        assert_eq!(rep.mode, TraceMode::Flight);
+        assert_eq!(rep.events.len(), 2);
+        assert_eq!(rep.observed, 5);
+        assert_eq!(rep.dropped, 3);
+    }
+}

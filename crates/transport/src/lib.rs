@@ -21,7 +21,7 @@ pub mod sender;
 
 pub use config::{CcAlgorithm, FastRetransmit, TcpConfig};
 pub use receiver::{ReceiverCounters, TcpReceiver};
-pub use sender::{SenderCounters, TcpSender};
+pub use sender::{trace_packet_out, SenderCounters, TcpSender};
 
 use dibs_net::ids::PacketId;
 

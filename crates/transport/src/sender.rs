@@ -15,6 +15,33 @@ use crate::IdGen;
 use dibs_engine::time::{SimDuration, SimTime};
 use dibs_net::ids::{FlowId, HostId};
 use dibs_net::packet::Packet;
+use dibs_trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Reports one host-emitted packet to `sink`, classified as `Send`,
+/// `Retransmit`, or `Ack` from the packet's own flags. `node` is the
+/// topology node id of the emitting host (the transport layer does not
+/// know the topology, so the caller supplies it).
+pub fn trace_packet_out<S: TraceSink>(pkt: &Packet, t_ns: u64, node: u32, sink: &mut S) {
+    let kind = if !pkt.is_data() {
+        TraceKind::Ack
+    } else if pkt.retransmit {
+        TraceKind::Retransmit
+    } else {
+        TraceKind::Send
+    };
+    if sink.wants(kind) {
+        sink.record(TraceEvent {
+            t_ns,
+            packet: pkt.id.0,
+            flow: pkt.flow.0,
+            node,
+            port: 0,
+            qlen: 0,
+            detours: pkt.detours,
+            kind,
+        });
+    }
+}
 
 /// Sender-side counters (per flow).
 #[derive(Debug, Clone, Copy, Default)]
@@ -326,6 +353,35 @@ impl TcpSender {
             self.window_end = self.snd_nxt;
         }
         self.arm_timer(now);
+        pkts
+    }
+
+    /// [`TcpSender::on_rto`] with trace emission: a genuine (non-stale)
+    /// firing is reported as one flow-level `Timeout` event before the
+    /// retransmitted segments are returned. `node` is the sending host's
+    /// topology node id; `qlen` carries the retransmission count.
+    pub fn on_rto_traced<S: TraceSink>(
+        &mut self,
+        gen: u64,
+        now: SimTime,
+        ids: &mut IdGen,
+        node: u32,
+        sink: &mut S,
+    ) -> Vec<Packet> {
+        let timeouts_before = self.counters.timeouts;
+        let pkts = self.on_rto(gen, now, ids);
+        if self.counters.timeouts > timeouts_before && sink.wants(TraceKind::Timeout) {
+            sink.record(TraceEvent {
+                t_ns: now.as_nanos(),
+                packet: 0,
+                flow: self.flow.0,
+                node,
+                port: 0,
+                qlen: u16::try_from(pkts.len()).unwrap_or(u16::MAX),
+                detours: 0,
+                kind: TraceKind::Timeout,
+            });
+        }
         pkts
     }
 
@@ -833,5 +889,64 @@ mod tests {
         fn snd_nxt_test(&self) -> u64 {
             self.snd_nxt
         }
+    }
+
+    #[test]
+    fn trace_packet_out_classifies_kinds() {
+        use dibs_net::ids::PacketId;
+        use dibs_trace::{KindMask, TraceBuffer};
+        let mut buf = TraceBuffer::new(KindMask::ALL);
+        let mut data = Packet::data(
+            PacketId(1),
+            FlowId(2),
+            HostId(0),
+            HostId(1),
+            0,
+            1460,
+            64,
+            SimTime::ZERO,
+        );
+        trace_packet_out(&data, 10, 100, &mut buf);
+        data.retransmit = true;
+        trace_packet_out(&data, 20, 100, &mut buf);
+        let ack = Packet::ack(
+            PacketId(3),
+            FlowId(2),
+            HostId(1),
+            HostId(0),
+            1460,
+            false,
+            64,
+            SimTime::ZERO,
+        );
+        trace_packet_out(&ack, 30, 101, &mut buf);
+        let kinds: Vec<TraceKind> = buf.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TraceKind::Send, TraceKind::Retransmit, TraceKind::Ack]
+        );
+        assert_eq!(buf.events()[0].node, 100);
+    }
+
+    #[test]
+    fn on_rto_traced_emits_only_for_genuine_firings() {
+        use dibs_trace::{KindMask, TraceBuffer};
+        let (mut s, mut ids) = sender(1_000_000);
+        s.start(SimTime::ZERO, &mut ids);
+        let (deadline, gen) = s.timer().unwrap();
+        let mut buf = TraceBuffer::new(KindMask::ALL);
+        // A stale generation is ignored and must not be traced.
+        let stale = s.on_rto_traced(gen + 99, deadline, &mut ids, 5, &mut buf);
+        assert!(stale.is_empty());
+        assert!(buf.events().is_empty());
+        // The genuine firing produces exactly one flow-level event.
+        let pkts = s.on_rto_traced(gen, deadline, &mut ids, 5, &mut buf);
+        assert!(!pkts.is_empty());
+        assert_eq!(buf.events().len(), 1);
+        let ev = buf.events()[0];
+        assert_eq!(ev.kind, TraceKind::Timeout);
+        assert_eq!(ev.flow, 1);
+        assert_eq!(ev.node, 5);
+        assert_eq!(usize::from(ev.qlen), pkts.len());
     }
 }

@@ -35,6 +35,29 @@ if [[ $quick -eq 0 ]]; then
         cargo test --workspace --offline -q -- --include-ignored
         echo "==> perf_hotpath --smoke (hot-path bench suite, CI-sized)"
         cargo run -q -p dibs-bench --release --offline --bin perf_hotpath -- --smoke
+        echo "==> trace smoke (traced incast: valid Chrome JSON, digest unchanged)"
+        tmp=$(mktemp -d)
+        trap 'rm -rf "$tmp"' EXIT
+        cargo run -q -p dibs-cli --release --offline --bin dibs-sim -- \
+            --digest scenarios/incast.json | grep '^digest' >"$tmp/untraced"
+        cargo run -q -p dibs-cli --release --offline --bin dibs-sim -- \
+            --digest --trace all scenarios/incast.json | grep '^digest' >"$tmp/traced"
+        if ! diff -u "$tmp/untraced" "$tmp/traced"; then
+            echo "FAIL: tracing perturbed the run digest" >&2
+            exit 1
+        fi
+        # dibs-sim only writes the file after its Chrome JSON re-parses
+        # through dibs-json, so existence means the exporter validated it;
+        # when python3 is around, cross-check with an independent parser.
+        chrome=results/trace_incast_dctcpdibs.json
+        if [[ ! -f "$chrome" ]]; then
+            echo "FAIL: traced run did not export $chrome" >&2
+            exit 1
+        fi
+        if command -v python3 >/dev/null; then
+            python3 -m json.tool "$chrome" >/dev/null
+        fi
+        echo "    digest identical traced vs untraced; Chrome JSON valid"
     else
         echo "==> cargo test --workspace (fast tier; --full adds tier-2)"
         cargo test --workspace --offline -q

@@ -1,0 +1,117 @@
+//! Tracing must be provably non-perturbing: a traced run and an untraced
+//! run of the same scenario produce byte-identical digests, at any
+//! executor width. This is the contract that lets `--trace` be used on
+//! real experiments without invalidating their numbers.
+//!
+//! Each golden scenario from `golden_digests.rs` is run four ways —
+//! {untraced, fully traced} x {--jobs 1, --jobs 8} — and every digest
+//! string must match the untraced single-threaded reference exactly.
+
+use dibs::presets::{single_incast_sim, testbed_incast_sim};
+use dibs::{RunDescriptor, RunDigest, SimConfig, Simulation, TraceSpec, Tracer};
+use dibs_harness::Executor;
+use dibs_net::builders::FatTreeParams;
+use dibs_switch::BufferConfig;
+
+/// Master seed shared by all golden runs; mirrors the bench default.
+const MASTER_SEED: u64 = 0xD1B5_2014;
+
+const SCENARIOS: usize = 3;
+
+fn k4() -> FatTreeParams {
+    FatTreeParams {
+        k: 4,
+        ..FatTreeParams::paper_default()
+    }
+}
+
+/// Builds golden scenario `idx` (fresh simulation each call).
+fn build(idx: usize) -> Simulation {
+    match idx {
+        0 => {
+            let d = RunDescriptor::new("golden_testbed_incast", "dibs", 5, 0);
+            let cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+            testbed_incast_sim(cfg, 5, 4, 32_000)
+        }
+        1 => {
+            let d = RunDescriptor::new("golden_buffer_sweep", "dibs", 25, 0);
+            let mut cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+            cfg.switch.buffer = BufferConfig::StaticPerPort { packets: 25 };
+            cfg.switch.ecn_threshold = Some(20);
+            single_incast_sim(k4(), cfg, 8, 20_000)
+        }
+        2 => {
+            let d = RunDescriptor::new("golden_ttl_sweep", "dibs", 12, 0);
+            let mut cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+            cfg.tcp.initial_ttl = 12;
+            single_incast_sim(k4(), cfg, 8, 20_000)
+        }
+        other => unreachable!("no golden scenario {other}"),
+    }
+}
+
+#[test]
+fn traced_runs_digest_identically_at_any_jobs_width() {
+    // (scenario, traced?) pairs; "all" exercises every emission site plus
+    // the flight recorder's sibling code paths through the Full tracer.
+    let spec: TraceSpec = "all".parse().expect("valid spec");
+    let mut pairs: Vec<(usize, bool)> = Vec::new();
+    for idx in 0..SCENARIOS {
+        pairs.push((idx, false));
+        pairs.push((idx, true));
+    }
+
+    let mut reference: Vec<Option<String>> = vec![None; SCENARIOS];
+    for jobs in [1, 8] {
+        let outcomes = Executor::new(jobs).map(pairs.clone(), move |(idx, traced)| {
+            let mut sim = build(idx);
+            if traced {
+                sim.set_tracer(Tracer::from_spec(&spec));
+            }
+            let results = sim.run();
+            let digest = RunDigest::of(&results).as_str().to_string();
+            (idx, traced, digest, results.trace.is_some())
+        });
+        for (idx, traced, digest, has_trace) in outcomes {
+            assert_eq!(
+                traced, has_trace,
+                "scenario {idx}: trace report presence must track the tracer"
+            );
+            match &reference[idx] {
+                None => reference[idx] = Some(digest),
+                Some(expected) => assert_eq!(
+                    expected, &digest,
+                    "scenario {idx} (traced={traced}, jobs={jobs}): digest \
+                     diverged from the untraced --jobs 1 reference — tracing \
+                     perturbed the simulation"
+                ),
+            }
+        }
+    }
+}
+
+/// The flight recorder (bounded ring, a different record path than the
+/// unbounded Full buffer) must be equally invisible.
+#[test]
+fn flight_recorder_is_non_perturbing() {
+    let reference = RunDigest::of(&build(1).run()).fingerprint();
+    let spec: TraceSpec = "flight:64:enqueue,detour,drop".parse().expect("valid spec");
+    let mut sim = build(1);
+    sim.set_tracer(Tracer::from_spec(&spec));
+    let results = sim.run();
+    assert_eq!(
+        RunDigest::of(&results).fingerprint(),
+        reference,
+        "flight recorder perturbed the run"
+    );
+    let report = results.trace.expect("flight recorder attached");
+    assert!(
+        report.events.len() <= 64,
+        "ring kept {} events, cap is 64",
+        report.events.len()
+    );
+    assert!(
+        report.dropped > 0,
+        "a 64-slot ring on a full incast must overwrite"
+    );
+}
