@@ -88,14 +88,15 @@ impl Report {
         line(
             &mut out,
             format!(
-                "packets: sent {}  delivered {}  drops {} (buffer {} / ttl {} / displaced {} / nic {})",
+                "packets: sent {}  delivered {}  drops {} (buffer {} / ttl {} / displaced {} / nic {} / fault {})",
                 c.packets_sent,
                 c.packets_delivered,
                 c.total_drops(),
                 c.drops_buffer,
                 c.drops_ttl,
                 c.drops_displaced,
-                c.drops_host_nic
+                c.drops_host_nic,
+                c.drops_fault
             ),
         );
         line(

@@ -46,3 +46,7 @@ pub use sim::Simulation;
 // Re-exported so downstream binaries can configure tracing without
 // depending on `dibs-trace` directly.
 pub use dibs_trace::{TraceReport, TraceSpec, Tracer};
+
+// Re-exported so downstream binaries can install fault schedules without
+// depending on `dibs-fault` directly.
+pub use dibs_fault::{FaultError, FaultPlan, FaultSpec};

@@ -91,6 +91,13 @@ pub struct RunResults {
     pub paths: Vec<PacketPath>,
     /// PFC PAUSE assertions observed (zero unless flow control is on).
     pub pfc_pause_events: u64,
+    /// Packets still inside the fabric (NIC queues, ingress pipelines,
+    /// switch buffers, or scheduled events) when the run stopped.
+    ///
+    /// Together with the counters this closes the conservation sum that
+    /// the soak harness asserts externally:
+    /// `packets_sent == packets_delivered + total_drops() + packets_in_flight`.
+    pub packets_in_flight: u64,
     /// Events dispatched by the engine.
     pub events_dispatched: u64,
     /// The instant the run stopped.
@@ -193,6 +200,7 @@ impl RunDigest {
         let _ = writeln!(w, "detour_hist {:?}", results.detour_histogram);
         let _ = writeln!(w, "detours_per_switch {:?}", results.detours_per_switch);
         let _ = writeln!(w, "pfc_pauses {}", results.pfc_pause_events);
+        let _ = writeln!(w, "in_flight {}", results.packets_in_flight);
         RunDigest { text }
     }
 
@@ -232,6 +240,7 @@ mod tests {
             long_lived_throughput_bps: Vec::new(),
             paths: Vec::new(),
             pfc_pause_events: 0,
+            packets_in_flight: 0,
             events_dispatched: 0,
             finished_at: SimTime::ZERO,
             trace: None,

@@ -11,7 +11,8 @@ use crate::results::{FlowOutcome, PacketPath, QueryOutcome, RunResults};
 use dibs_engine::rng::SimRng;
 use dibs_engine::time::{SimDuration, SimTime};
 use dibs_engine::Engine;
-use dibs_net::ids::{FlowId, HostId, NodeId, PacketId};
+use dibs_fault::{FaultAction, FaultError, FaultPlan, FaultSpec};
+use dibs_net::ids::{FlowId, HostId, LinkId, NodeId, PacketId};
 use dibs_net::packet::Packet;
 use dibs_net::routing::{EcmpMemo, Fib};
 use dibs_net::topology::{SwitchLayer, Topology};
@@ -61,6 +62,8 @@ enum Event {
         port: u32,
         paused: bool,
     },
+    /// The `i`-th timed fault in the resolved [`FaultPlan`] takes effect.
+    Fault(u32),
 }
 
 struct HostNic {
@@ -92,6 +95,23 @@ struct PathTrace {
     detour: Vec<bool>,
     pending_detour: bool,
     detours: u16,
+}
+
+/// Runtime state of an installed fault schedule.
+///
+/// Absent (`Simulation::faults == None`) the data path takes one dead
+/// branch per hook and draws no randomness, so fault-free runs are
+/// bit-identical to builds without this feature.
+struct FaultState {
+    plan: FaultPlan,
+    /// `link_down[node][port]` — the port's link is administratively down
+    /// (mirrored onto both endpoints of the link).
+    link_down: Vec<Vec<bool>>,
+    /// `crashed[switch]` — the switch blackholes everything (permanent).
+    crashed: Vec<bool>,
+    /// Dedicated stream for drop/corrupt Bernoulli trials, forked from
+    /// the run seed so detour/ECMP streams are untouched.
+    rng: SimRng,
 }
 
 /// A fully wired simulation: topology + switches + hosts + traffic.
@@ -183,6 +203,8 @@ pub struct Simulation {
     pause_events: u64,
     /// Debug-build packet-conservation auditor.
     audit: AuditLedger,
+    /// Installed fault schedule, if any (see [`Simulation::set_faults`]).
+    faults: Option<FaultState>,
     /// Event-trace sink (`Tracer::Off` by default: one dead branch per
     /// potential event, nothing recorded, no RNG or scheduling impact).
     tracer: Tracer,
@@ -309,6 +331,7 @@ impl Simulation {
                 .collect(),
             pause_events: 0,
             audit: AuditLedger::new(),
+            faults: None,
             tracer: Tracer::off(),
             topo,
             config,
@@ -322,6 +345,40 @@ impl Simulation {
     /// fingerprints — are identical with any tracer installed.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a fault schedule for this run (default: none).
+    ///
+    /// The spec is resolved against the topology immediately: symbolic
+    /// names bind to link/switch ids, `random:<budget>` clauses expand
+    /// through a dedicated [`SimRng`] stream derived from the run seed,
+    /// and the timed events are sorted. Drop/corrupt trials likewise
+    /// draw from their own stream, so installing a schedule never
+    /// perturbs ECMP or detour randomness — and a spec whose every
+    /// probability is zero is digest-identical to no spec at all
+    /// ([`SimRng::chance`] consumes nothing for `p <= 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError`] when a clause names an unknown node or
+    /// link, or targets a host with `switch-crash`.
+    pub fn set_faults(&mut self, spec: &FaultSpec) -> Result<(), FaultError> {
+        if spec.is_off() {
+            self.faults = None;
+            return Ok(());
+        }
+        let root = SimRng::new(self.config.seed);
+        let mut plan_rng = root.fork("fault/plan");
+        let plan = spec.resolve(&self.topo, self.config.horizon, &mut plan_rng)?;
+        self.faults = Some(FaultState {
+            plan,
+            link_down: (0..self.topo.num_nodes())
+                .map(|n| vec![false; self.topo.num_ports(NodeId::from_index(n))])
+                .collect(),
+            crashed: vec![false; self.topo.num_switches()],
+            rng: root.fork("fault/drop"),
+        });
+        Ok(())
     }
 
     /// The topology being simulated.
@@ -416,6 +473,18 @@ impl Simulation {
         if let Some(warmup) = self.config.throughput_warmup {
             self.engine.schedule_at(warmup, Event::WarmupSnapshot);
         }
+        let timed_faults: Vec<(SimTime, u32)> = self.faults.as_ref().map_or_else(Vec::new, |f| {
+            f.plan
+                .timed
+                .iter()
+                .enumerate()
+                .filter(|(_, tf)| tf.at <= self.config.horizon)
+                .map(|(i, tf)| (tf.at, u32::try_from(i).expect("fault count fits u32")))
+                .collect()
+        });
+        for (at, i) in timed_faults {
+            self.engine.schedule_at(at, Event::Fault(i));
+        }
         while let Some(ev) = self.engine.next_event() {
             self.dispatch(ev);
             if self.audit.tick() {
@@ -466,6 +535,15 @@ impl Simulation {
             }
             Event::ForwardDone { node, port, pkt } => {
                 let si = self.topo.as_switch(node).expect("switch").index();
+                if self.fault_crashed_switch(si) {
+                    // The switch crashed while this packet was in its
+                    // forwarding pipeline; it dies with the switch.
+                    self.counters.drops_fault += 1;
+                    self.traces.remove(&pkt.id.0);
+                    self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+                    self.ingress_busy[si][port as usize] = false;
+                    return;
+                }
                 self.route_and_enqueue(node, si, pkt);
                 self.ingress_busy[si][port as usize] = false;
                 self.start_forwarding(node, si, port as usize);
@@ -487,7 +565,158 @@ impl Simulation {
                     }
                 }
             }
+            Event::Fault(idx) => self.on_fault(idx as usize),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    /// Whether `node`'s `port` sits on an administratively-downed link.
+    fn fault_link_down(&self, node: NodeId, port: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.link_down[node.index()][port])
+    }
+
+    /// Whether switch `si` has crashed.
+    fn fault_crashed_switch(&self, si: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed[si])
+    }
+
+    /// One seeded Bernoulli trial per matching drop profile, evaluated in
+    /// spec order with short-circuit on the first hit. `p = 0` profiles
+    /// consume no randomness, so `drop:p=0` is digest-neutral.
+    fn fault_should_drop(&mut self, pkt: &Packet) -> bool {
+        let Some(FaultState { plan, rng, .. }) = self.faults.as_mut() else {
+            return false;
+        };
+        plan.drops
+            .iter()
+            .any(|prof| prof.kind.applies(pkt.detours > 0, pkt.is_data()) && rng.chance(prof.p))
+    }
+
+    /// Same trial for corrupt profiles (applied at dequeue: the frame is
+    /// damaged on the wire and discarded by the receiver's CRC check).
+    fn fault_should_corrupt(&mut self, pkt: &Packet) -> bool {
+        let Some(FaultState { plan, rng, .. }) = self.faults.as_mut() else {
+            return false;
+        };
+        plan.corrupts
+            .iter()
+            .any(|prof| prof.kind.applies(pkt.detours > 0, pkt.is_data()) && rng.chance(prof.p))
+    }
+
+    fn on_fault(&mut self, idx: usize) {
+        let Some(f) = self.faults.as_ref() else {
+            return;
+        };
+        let action = f.plan.timed[idx].action;
+        match action {
+            FaultAction::LinkDown(link) => self.set_link_state(link, true),
+            FaultAction::LinkUp(link) => self.set_link_state(link, false),
+            FaultAction::SwitchCrash(node) => self.crash_switch(node),
+        }
+    }
+
+    /// Takes a link down or brings it back up: marks both endpoints,
+    /// recomputes routes, and on recovery restarts any transmitter that
+    /// parked while the link was dark.
+    fn set_link_state(&mut self, link: LinkId, down: bool) {
+        let l = self.topo.links()[link.index()];
+        let ends = [(l.a.node, l.a.port), (l.b.node, l.b.port)];
+        {
+            let f = self.faults.as_mut().expect("fault state present");
+            for &(node, port) in &ends {
+                f.link_down[node.index()][port] = down;
+            }
+        }
+        self.refresh_routes();
+        if !down {
+            for &(node, port) in &ends {
+                self.resume_endpoint(node, port);
+            }
+        }
+    }
+
+    /// Restarts transmission on an endpoint whose link just recovered.
+    fn resume_endpoint(&mut self, node: NodeId, port: usize) {
+        match self.topo.as_host(node) {
+            Some(host) => {
+                if !self.host_nic[host.index()].busy {
+                    self.start_host_tx(host);
+                }
+            }
+            None => {
+                let si = self.topo.as_switch(node).expect("switch").index();
+                if !self.fault_crashed_switch(si) {
+                    self.kick_switch_port(node, si, port);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the FIB with every faulted link masked out and flushes
+    /// the flow-level ECMP memo (per-switch detour memos cache only flow
+    /// hashes, not routes, so they stay valid).
+    fn refresh_routes(&mut self) {
+        let Some(f) = self.faults.as_ref() else {
+            return;
+        };
+        let mut disabled = vec![false; self.topo.links().len()];
+        for (i, l) in self.topo.links().iter().enumerate() {
+            let down = f.link_down[l.a.node.index()][l.a.port];
+            let a_crashed = self
+                .topo
+                .as_switch(l.a.node)
+                .is_some_and(|s| f.crashed[s.index()]);
+            let b_crashed = self
+                .topo
+                .as_switch(l.b.node)
+                .is_some_and(|s| f.crashed[s.index()]);
+            disabled[i] = down || a_crashed || b_crashed;
+        }
+        self.fib = Fib::compute_masked(&self.topo, self.fib.salt(), &disabled);
+        self.ecmp_memo.clear();
+    }
+
+    /// Crashes a switch permanently: every buffered packet is destroyed
+    /// (with its PFC ingress accounting unwound so paused neighbors
+    /// resume), ingress pipelines are emptied, and routes recompute to
+    /// steer around the dead node.
+    fn crash_switch(&mut self, node: NodeId) {
+        let si = self
+            .topo
+            .as_switch(node)
+            .expect("crash target is a switch")
+            .index();
+        {
+            let f = self.faults.as_mut().expect("fault state present");
+            if f.crashed[si] {
+                return;
+            }
+            f.crashed[si] = true;
+        }
+        let drained = self.switches[si].drain_all();
+        for pkt in drained {
+            self.counters.drops_fault += 1;
+            self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+            self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
+        }
+        // CIOQ ingress queues die too; those packets were never counted
+        // into PFC buffering, so no XON bookkeeping here.
+        let ingress: Vec<Packet> = self.ingress_q[si]
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .collect();
+        for pkt in ingress {
+            self.counters.drops_fault += 1;
+            self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+        }
+        self.refresh_routes();
     }
 
     // ------------------------------------------------------------------
@@ -573,8 +802,9 @@ impl Simulation {
 
     fn start_host_tx(&mut self, host: HostId) {
         let node = self.topo.host_node(host);
-        if self.paused[node.index()][0] {
-            // PFC: the edge switch has paused this host.
+        if self.paused[node.index()][0] || self.fault_link_down(node, 0) {
+            // PFC pause from the edge switch, or the uplink is faulted
+            // down; the NIC parks and is re-kicked on release/recovery.
             self.host_nic[host.index()].busy = false;
             return;
         }
@@ -705,6 +935,14 @@ impl Simulation {
     }
 
     fn on_switch_arrive(&mut self, node: NodeId, mut pkt: Packet) {
+        let si = self.topo.as_switch(node).expect("switch node").index();
+        if self.fault_crashed_switch(si) {
+            // A crashed switch blackholes everything that reaches it.
+            self.counters.drops_fault += 1;
+            self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+            return;
+        }
         if !pkt.decrement_ttl() {
             self.counters.drops_ttl += 1;
             self.traces.remove(&pkt.id.0);
@@ -729,7 +967,6 @@ impl Simulation {
         );
         self.record_trace_hop(&pkt, node);
 
-        let si = self.topo.as_switch(node).expect("switch node").index();
         if let crate::config::SwitchArch::Cioq {
             ingress_packets, ..
         } = self.config.arch
@@ -781,6 +1018,12 @@ impl Simulation {
     /// FIB lookup + egress admission (the §2 data path), common to both
     /// switch architectures.
     fn route_and_enqueue(&mut self, node: NodeId, si: usize, pkt: Packet) {
+        if self.fault_should_drop(&pkt) {
+            self.counters.drops_fault += 1;
+            self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+            return;
+        }
         let desired = match self.config.ecmp {
             // Flow-level selection is pure per (flow, node, dst), so it is
             // served through the memo: one hash per flow per node instead
@@ -796,6 +1039,14 @@ impl Simulation {
             }
         };
         let Some(desired) = desired else {
+            if self.faults.is_some() {
+                // Injected faults partitioned the fabric; the packet
+                // blackholes at the switch that has no route left.
+                self.counters.drops_fault += 1;
+                self.traces.remove(&pkt.id.0);
+                self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+                return;
+            }
             // Unreachable destination: only possible on malformed topologies.
             debug_assert!(false, "no route from {node} to {}", pkt.dst);
             self.counters.drops_buffer += 1;
@@ -845,26 +1096,41 @@ impl Simulation {
     }
 
     fn kick_switch_port(&mut self, node: NodeId, si: usize, port: usize) {
-        if self.tx_busy[node.index()][port] || self.paused[node.index()][port] {
+        if self.tx_busy[node.index()][port]
+            || self.paused[node.index()][port]
+            || self.fault_link_down(node, port)
+        {
             return;
         }
         let now_ns = self.engine.now().as_nanos();
-        let Some(pkt) = self.switches[si].dequeue_traced(port, now_ns, &mut self.tracer) else {
+        loop {
+            let Some(pkt) = self.switches[si].dequeue_traced(port, now_ns, &mut self.tracer) else {
+                return;
+            };
+            if self.fault_should_corrupt(&pkt) {
+                // The frame is corrupted on the wire; free its PFC slot
+                // and try the next packet in the queue.
+                self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
+                self.counters.drops_fault += 1;
+                self.traces.remove(&pkt.id.0);
+                self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+                continue;
+            }
+            self.tx_busy[node.index()][port] = true;
+            self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
+            let rate = self.topo.port(node, port).rate_bps;
+            let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), rate);
+            self.audit.packet_event_scheduled();
+            self.engine.schedule_in(
+                ser,
+                Event::TxComplete {
+                    node,
+                    port: u32::try_from(port).expect("port index fits u32"),
+                    pkt,
+                },
+            );
             return;
-        };
-        self.tx_busy[node.index()][port] = true;
-        self.pfc_on_dequeued(si, usize::from(pkt.last_ingress));
-        let rate = self.topo.port(node, port).rate_bps;
-        let ser = SimDuration::serialization(u64::from(pkt.wire_bytes), rate);
-        self.audit.packet_event_scheduled();
-        self.engine.schedule_in(
-            ser,
-            Event::TxComplete {
-                node,
-                port: u32::try_from(port).expect("port index fits u32"),
-                pkt,
-            },
-        );
+        }
     }
 
     /// PFC bookkeeping: a packet that arrived via `ingress` was buffered.
@@ -907,6 +1173,25 @@ impl Simulation {
     }
 
     fn on_tx_complete(&mut self, node: NodeId, port: usize, mut pkt: Packet) {
+        if self.fault_link_down(node, port)
+            || self
+                .topo
+                .as_switch(node)
+                .is_some_and(|s| self.fault_crashed_switch(s.index()))
+        {
+            // The link went down (or the switch crashed) while the frame
+            // was serializing: the frame is cut on the wire. Release the
+            // port without restarting — recovery re-kicks it.
+            self.counters.drops_fault += 1;
+            self.traces.remove(&pkt.id.0);
+            self.trace_pkt(TraceKind::Drop, node.0, &pkt);
+            match self.topo.as_host(node) {
+                // start_host_tx parks again while the uplink stays down.
+                Some(host) => self.start_host_tx(host),
+                None => self.tx_busy[node.index()][port] = false,
+            }
+            return;
+        }
         let p = self.topo.port(node, port);
         let peer = p.peer;
         let delay = p.delay;
@@ -1052,6 +1337,25 @@ impl Simulation {
         self.conservation_check();
         let finished_at = self.engine.now();
         let queue_hwm = u64::try_from(self.engine.high_watermark()).unwrap_or(u64::MAX);
+        // The same transient buckets the audit snapshots: everything sent
+        // but neither delivered nor dropped is parked in exactly one of
+        // them when the horizon cuts the run.
+        let packets_in_flight = self
+            .host_nic
+            .iter()
+            .map(|n| n.queue.len() as u64)
+            .sum::<u64>()
+            + self
+                .ingress_q
+                .iter()
+                .flat_map(|qs| qs.iter().map(|q| q.len() as u64))
+                .sum::<u64>()
+            + self
+                .switches
+                .iter()
+                .map(|s| s.total_buffered() as u64)
+                .sum::<u64>()
+            + self.audit.in_events();
 
         // Fold in switch and sender counters.
         for sw in &self.switches {
@@ -1121,6 +1425,7 @@ impl Simulation {
             long_lived_throughput_bps: long_lived,
             paths: self.finished_paths,
             pfc_pause_events: self.pause_events,
+            packets_in_flight,
             events_dispatched: self.engine.dispatched(),
             finished_at,
             trace: self.tracer.into_report(queue_hwm),

@@ -1,0 +1,834 @@
+//! Deterministic, schedule-driven fault injection.
+//!
+//! A [`FaultSpec`] is parsed from a small textual grammar and later
+//! *resolved* against a concrete [`Topology`] into a [`FaultPlan`]: a
+//! time-sorted list of link/switch state changes plus always-on
+//! probabilistic drop/corrupt profiles. The core simulator consumes the
+//! plan; this crate knows nothing about queues or packets.
+//!
+//! # Spec grammar
+//!
+//! Clauses are joined with `;` (whitespace around clauses is ignored):
+//!
+//! ```text
+//! link-down:t=2ms:edge3-aggr1:dur=500us   take a link down (forever if no dur)
+//! switch-crash:t=5ms:core0                permanently blackhole a switch
+//! drop:p=1e-4:kind=detoured               probabilistic drop at routing time
+//! corrupt:p=1e-5:kind=data                probabilistic corruption at dequeue
+//! random:4                                seeded random schedule, budget 4
+//! off                                     the empty spec
+//! ```
+//!
+//! Times are an integer plus a unit (`ns`, `us`, `ms`, `s`); probabilities
+//! are plain floats in `[0, 1]`. Node names accept both the builders'
+//! bracketed form (`edge[1]`) and the flattened form (`edge1`).
+//!
+//! Everything is deterministic: `random:<budget>` expands through the
+//! caller-supplied [`SimRng`], and [`Display`](std::fmt::Display) output
+//! re-parses to an equal spec (a fixed point, exercised by the proptests).
+
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::{SimDuration, SimTime};
+use dibs_net::ids::{LinkId, NodeId};
+use dibs_net::topology::Topology;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+mod random;
+
+/// Which packets a probabilistic [`DropProfile`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropKind {
+    /// Every packet.
+    Any,
+    /// Only packets that have taken at least one detour.
+    Detoured,
+    /// Only data packets.
+    Data,
+    /// Only acks (non-data packets).
+    Ack,
+}
+
+impl DropKind {
+    /// Whether a packet with the given properties is subject to this kind.
+    pub fn applies(self, detoured: bool, is_data: bool) -> bool {
+        match self {
+            DropKind::Any => true,
+            DropKind::Detoured => detoured,
+            DropKind::Data => is_data,
+            DropKind::Ack => !is_data,
+        }
+    }
+
+    fn parse(s: &str) -> Result<DropKind, String> {
+        match s {
+            "any" => Ok(DropKind::Any),
+            "detoured" => Ok(DropKind::Detoured),
+            "data" => Ok(DropKind::Data),
+            "ack" => Ok(DropKind::Ack),
+            other => Err(format!("unknown kind `{other}` (any|detoured|data|ack)")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            DropKind::Any => "any",
+            DropKind::Detoured => "detoured",
+            DropKind::Data => "data",
+            DropKind::Ack => "ack",
+        }
+    }
+}
+
+/// One clause of a fault spec, still in terms of node *names*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultClause {
+    /// Take the `a`–`b` link down at `at`, back up after `dur` (forever
+    /// when `dur` is `None`).
+    LinkDown {
+        /// When the link goes down.
+        at: SimTime,
+        /// One endpoint, by node name.
+        a: String,
+        /// The other endpoint, by node name.
+        b: String,
+        /// Outage length; `None` means the link never recovers.
+        dur: Option<SimDuration>,
+    },
+    /// Permanently crash a switch at `at`: its buffered packets are freed
+    /// and every packet addressed through it blackholes.
+    SwitchCrash {
+        /// When the switch dies.
+        at: SimTime,
+        /// The switch, by node name.
+        node: String,
+    },
+    /// Drop matching packets with probability `p` at the routing step.
+    Drop {
+        /// Per-packet drop probability in `[0, 1]`.
+        p: f64,
+        /// Which packets the profile applies to.
+        kind: DropKind,
+    },
+    /// Corrupt (and therefore discard) matching packets with probability
+    /// `p` as they leave a switch queue.
+    Corrupt {
+        /// Per-packet corruption probability in `[0, 1]`.
+        p: f64,
+        /// Which packets the profile applies to.
+        kind: DropKind,
+    },
+    /// A seeded random schedule: `budget` link flaps on fabric links,
+    /// possibly plus a light drop profile, expanded deterministically from
+    /// the [`SimRng`] handed to [`FaultSpec::resolve`].
+    Random {
+        /// How many random link flaps to attempt.
+        budget: u32,
+    },
+}
+
+/// A parsed fault specification: an ordered list of clauses.
+///
+/// Construct with [`str::parse`] (which validates) and turn back into the
+/// grammar with [`Display`](std::fmt::Display). The empty spec prints as
+/// `off`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// The clauses, in spec order.
+    pub clauses: Vec<FaultClause>,
+}
+
+/// Errors from parsing, validating, or resolving a fault spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A clause did not match the grammar.
+    Parse {
+        /// The offending clause text.
+        clause: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The spec parsed but is self-contradictory.
+    Invalid(String),
+    /// The spec names something the topology does not have.
+    Resolve(String),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Parse { clause, reason } => {
+                write!(f, "bad fault clause `{clause}`: {reason}")
+            }
+            FaultError::Invalid(m) => write!(f, "invalid fault spec: {m}"),
+            FaultError::Resolve(m) => write!(f, "cannot resolve fault spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A state change scheduled at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Disable a link in both directions.
+    LinkDown(LinkId),
+    /// Re-enable a previously disabled link.
+    LinkUp(LinkId),
+    /// Permanently crash a switch.
+    SwitchCrash(NodeId),
+}
+
+/// A [`FaultAction`] with its firing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// An always-on probabilistic drop or corruption profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropProfile {
+    /// Per-packet probability in `[0, 1]`.
+    pub p: f64,
+    /// Which packets the profile applies to.
+    pub kind: DropKind,
+}
+
+/// A spec resolved against a concrete topology: everything the simulator
+/// needs, with names bound to ids and `random:` clauses expanded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Scheduled state changes, sorted by time (ties keep spec order).
+    pub timed: Vec<TimedFault>,
+    /// Drop profiles checked at the routing step, in spec order.
+    pub drops: Vec<DropProfile>,
+    /// Corruption profiles checked at dequeue, in spec order.
+    pub corrupts: Vec<DropProfile>,
+}
+
+impl FaultPlan {
+    /// Whether the plan does nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.timed.is_empty() && self.drops.is_empty() && self.corrupts.is_empty()
+    }
+}
+
+impl FaultSpec {
+    /// The empty spec: inject nothing.
+    pub fn off() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// Whether the spec injects nothing.
+    pub fn is_off(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Parses and validates a spec. `off`, the empty string, and pure
+    /// whitespace all give the empty spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultError> {
+        let spec = FaultSpec::parse_syntax(s)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn parse_syntax(s: &str) -> Result<FaultSpec, FaultError> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() || trimmed == "off" {
+            return Ok(FaultSpec::off());
+        }
+        let mut clauses = Vec::new();
+        for raw in trimmed.split(';') {
+            let clause = raw.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            clauses.push(parse_clause(clause)?);
+        }
+        Ok(FaultSpec { clauses })
+    }
+
+    /// Checks the spec for internal contradictions: out-of-range
+    /// probabilities, overlapping outage windows on one link, duplicate
+    /// switch crashes, duplicate drop/corrupt profiles per kind, and more
+    /// than one `random:` clause.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        // Outage windows per normalized (order- and bracket-insensitive)
+        // endpoint pair: [start, end) with `None` = never recovers.
+        type Windows = BTreeMap<(String, String), Vec<(u64, Option<u64>)>>;
+        let mut windows: Windows = BTreeMap::new();
+        let mut crashes: Vec<String> = Vec::new();
+        let mut drop_kinds: Vec<DropKind> = Vec::new();
+        let mut corrupt_kinds: Vec<DropKind> = Vec::new();
+        let mut randoms = 0u32;
+        for clause in &self.clauses {
+            match clause {
+                FaultClause::LinkDown { at, a, b, dur } => {
+                    let (sa, sb) = (strip_brackets(a), strip_brackets(b));
+                    if sa == sb {
+                        return Err(FaultError::Invalid(format!(
+                            "link-down endpoints must differ, got `{a}-{b}`"
+                        )));
+                    }
+                    let key = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                    let start = at.as_nanos();
+                    let end = dur.map(|d| (*at + d).as_nanos());
+                    let wins = windows.entry(key).or_default();
+                    for &(s0, e0) in wins.iter() {
+                        // Two half-open windows [s, e) overlap iff each
+                        // starts before the other ends; `None` = never
+                        // recovers = an infinite right edge.
+                        let overlap = match (end, e0) {
+                            (Some(e1), Some(e0)) => s0 < e1 && start < e0,
+                            (Some(e1), None) => s0 < e1,
+                            (None, Some(e0)) => start < e0,
+                            (None, None) => true,
+                        };
+                        if overlap {
+                            return Err(FaultError::Invalid(format!(
+                                "overlapping link-down windows on `{a}-{b}`"
+                            )));
+                        }
+                    }
+                    wins.push((start, end));
+                }
+                FaultClause::SwitchCrash { node, .. } => {
+                    let key = strip_brackets(node);
+                    if crashes.contains(&key) {
+                        return Err(FaultError::Invalid(format!(
+                            "duplicate switch-crash for `{node}`"
+                        )));
+                    }
+                    crashes.push(key);
+                }
+                FaultClause::Drop { p, kind } => {
+                    check_probability(*p)?;
+                    if drop_kinds.contains(kind) {
+                        return Err(FaultError::Invalid(format!(
+                            "duplicate drop clause for kind `{}`",
+                            kind.name()
+                        )));
+                    }
+                    drop_kinds.push(*kind);
+                }
+                FaultClause::Corrupt { p, kind } => {
+                    check_probability(*p)?;
+                    if corrupt_kinds.contains(kind) {
+                        return Err(FaultError::Invalid(format!(
+                            "duplicate corrupt clause for kind `{}`",
+                            kind.name()
+                        )));
+                    }
+                    corrupt_kinds.push(*kind);
+                }
+                FaultClause::Random { .. } => {
+                    randoms += 1;
+                    if randoms > 1 {
+                        return Err(FaultError::Invalid(
+                            "at most one random:<budget> clause".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds names to a concrete topology and expands `random:` clauses,
+    /// producing the executable [`FaultPlan`].
+    ///
+    /// `horizon` bounds where random faults are placed; `rng` should be a
+    /// dedicated fork so the expansion never perturbs other streams.
+    /// Resolution is a pure function of `(spec, topology, rng seed)`.
+    pub fn resolve(
+        &self,
+        topo: &Topology,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<FaultPlan, FaultError> {
+        let names = NameMap::build(topo);
+        let mut plan = FaultPlan::default();
+        for clause in &self.clauses {
+            match clause {
+                FaultClause::LinkDown { at, a, b, dur } => {
+                    let na = names.lookup(a)?;
+                    let nb = names.lookup(b)?;
+                    let link = find_link(topo, na, nb).ok_or_else(|| {
+                        FaultError::Resolve(format!("no link between `{a}` and `{b}`"))
+                    })?;
+                    plan.timed.push(TimedFault {
+                        at: *at,
+                        action: FaultAction::LinkDown(link),
+                    });
+                    if let Some(d) = dur {
+                        plan.timed.push(TimedFault {
+                            at: *at + *d,
+                            action: FaultAction::LinkUp(link),
+                        });
+                    }
+                }
+                FaultClause::SwitchCrash { at, node } => {
+                    let n = names.lookup(node)?;
+                    if topo.is_host(n) {
+                        return Err(FaultError::Resolve(format!(
+                            "switch-crash target `{node}` is a host"
+                        )));
+                    }
+                    plan.timed.push(TimedFault {
+                        at: *at,
+                        action: FaultAction::SwitchCrash(n),
+                    });
+                }
+                FaultClause::Drop { p, kind } => {
+                    plan.drops.push(DropProfile { p: *p, kind: *kind })
+                }
+                FaultClause::Corrupt { p, kind } => {
+                    plan.corrupts.push(DropProfile { p: *p, kind: *kind });
+                }
+                FaultClause::Random { budget } => {
+                    random::expand(*budget, topo, horizon, rng, &mut plan);
+                }
+            }
+        }
+        // Stable: simultaneous actions keep spec order (down before up for
+        // a zero-length window, matching the grammar's reading).
+        plan.timed.sort_by_key(|t| t.at);
+        Ok(plan)
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = FaultError;
+    fn from_str(s: &str) -> Result<FaultSpec, FaultError> {
+        FaultSpec::parse(s)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "off");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClause::LinkDown { at, a, b, dur } => {
+                write!(f, "link-down:t=")?;
+                fmt_ns(at.as_nanos(), f)?;
+                write!(f, ":{a}-{b}")?;
+                if let Some(d) = dur {
+                    write!(f, ":dur=")?;
+                    fmt_ns(d.as_nanos(), f)?;
+                }
+                Ok(())
+            }
+            FaultClause::SwitchCrash { at, node } => {
+                write!(f, "switch-crash:t=")?;
+                fmt_ns(at.as_nanos(), f)?;
+                write!(f, ":{node}")
+            }
+            FaultClause::Drop { p, kind } => {
+                write!(f, "drop:p={p}")?;
+                if *kind != DropKind::Any {
+                    write!(f, ":kind={}", kind.name())?;
+                }
+                Ok(())
+            }
+            FaultClause::Corrupt { p, kind } => {
+                write!(f, "corrupt:p={p}")?;
+                if *kind != DropKind::Any {
+                    write!(f, ":kind={}", kind.name())?;
+                }
+                Ok(())
+            }
+            FaultClause::Random { budget } => write!(f, "random:{budget}"),
+        }
+    }
+}
+
+fn check_probability(p: f64) -> Result<(), FaultError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(FaultError::Invalid(format!(
+            "probability {p} outside [0, 1]"
+        )))
+    }
+}
+
+/// Flattens the builders' bracketed names: `edge[1]` ⇒ `edge1`.
+fn strip_brackets(name: &str) -> String {
+    name.chars().filter(|&c| c != '[' && c != ']').collect()
+}
+
+struct NameMap {
+    exact: BTreeMap<String, NodeId>,
+    stripped: BTreeMap<String, NodeId>,
+}
+
+impl NameMap {
+    fn build(topo: &Topology) -> NameMap {
+        let mut exact = BTreeMap::new();
+        let mut stripped = BTreeMap::new();
+        for (i, node) in topo.nodes().iter().enumerate() {
+            let id = NodeId::from_index(i);
+            exact.insert(node.name.clone(), id);
+            // First writer wins on collisions; exact names take priority
+            // at lookup anyway.
+            stripped.entry(strip_brackets(&node.name)).or_insert(id);
+        }
+        NameMap { exact, stripped }
+    }
+
+    fn lookup(&self, name: &str) -> Result<NodeId, FaultError> {
+        self.exact
+            .get(name)
+            .or_else(|| self.stripped.get(&strip_brackets(name)))
+            .copied()
+            .ok_or_else(|| FaultError::Resolve(format!("no node named `{name}`")))
+    }
+}
+
+/// The undirected link joining two nodes, if any (first match wins).
+fn find_link(topo: &Topology, a: NodeId, b: NodeId) -> Option<LinkId> {
+    topo.links().iter().enumerate().find_map(|(i, l)| {
+        let (x, y) = (l.a.node, l.b.node);
+        ((x == a && y == b) || (x == b && y == a)).then(|| LinkId::from_index(i))
+    })
+}
+
+fn parse_clause(s: &str) -> Result<FaultClause, FaultError> {
+    let fail = |reason: String| FaultError::Parse {
+        clause: s.to_string(),
+        reason,
+    };
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or("");
+    let clause = match head {
+        "link-down" => {
+            let t = parse_ns(kv(parts.next(), "t").map_err(fail)?).map_err(fail)?;
+            let ep = parts
+                .next()
+                .ok_or_else(|| fail("missing endpoints `a-b`".to_string()))?;
+            let (a, b) = ep
+                .split_once('-')
+                .filter(|(a, b)| !a.is_empty() && !b.is_empty())
+                .ok_or_else(|| fail(format!("endpoints `{ep}` must be `a-b`")))?;
+            let dur = match parts.next() {
+                None => None,
+                Some(part) => Some(SimDuration::from_nanos(
+                    parse_ns(kv(Some(part), "dur").map_err(fail)?).map_err(fail)?,
+                )),
+            };
+            FaultClause::LinkDown {
+                at: SimTime::from_nanos(t),
+                a: a.to_string(),
+                b: b.to_string(),
+                dur,
+            }
+        }
+        "switch-crash" => {
+            let t = parse_ns(kv(parts.next(), "t").map_err(fail)?).map_err(fail)?;
+            let node = parts
+                .next()
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| fail("missing switch name".to_string()))?;
+            FaultClause::SwitchCrash {
+                at: SimTime::from_nanos(t),
+                node: node.to_string(),
+            }
+        }
+        "drop" | "corrupt" => {
+            let p = parse_probability(kv(parts.next(), "p").map_err(fail)?).map_err(fail)?;
+            let kind = match parts.next() {
+                None => DropKind::Any,
+                Some(part) => {
+                    DropKind::parse(kv(Some(part), "kind").map_err(fail)?).map_err(fail)?
+                }
+            };
+            if head == "drop" {
+                FaultClause::Drop { p, kind }
+            } else {
+                FaultClause::Corrupt { p, kind }
+            }
+        }
+        "random" => {
+            let budget = parts
+                .next()
+                .ok_or_else(|| fail("missing budget".to_string()))?;
+            let budget: u32 = budget
+                .parse()
+                .map_err(|_| fail(format!("bad budget `{budget}`")))?;
+            FaultClause::Random { budget }
+        }
+        other => return Err(fail(format!("unknown fault kind `{other}`"))),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(fail(format!("unexpected trailing `:{extra}`")));
+    }
+    Ok(clause)
+}
+
+fn kv<'a>(part: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let part = part.ok_or_else(|| format!("missing `{key}=...`"))?;
+    part.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| format!("expected `{key}=...`, got `{part}`"))
+}
+
+/// Parses `<integer><unit>` into nanoseconds; units are `ns|us|ms|s`.
+fn parse_ns(s: &str) -> Result<u64, String> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return Err(format!("time `{s}` needs a unit (ns|us|ms|s)"));
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("time `{s}` must be a whole number plus unit"));
+    }
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("time value `{s}` out of range"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("time `{s}` overflows"))
+}
+
+/// Prints nanoseconds with the largest unit that divides them exactly, so
+/// `parse_ns(fmt_ns(x)) == x` always (the round-trip fixed point).
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns == 0 {
+        write!(f, "0ns")
+    } else if ns.is_multiple_of(1_000_000_000) {
+        write!(f, "{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        write!(f, "{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        write!(f, "{}us", ns / 1_000)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+/// Parses a probability; `{}`-formatting an `f64` re-parses exactly
+/// (shortest-round-trip printing), giving the Display fixed point.
+fn parse_probability(s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|_| format!("bad probability `{s}`"))?;
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(format!("probability `{s}` outside [0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibs_net::builders::mini_testbed;
+    use dibs_net::topology::LinkSpec;
+
+    fn testbed() -> Topology {
+        mini_testbed(LinkSpec::gbit(5))
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let cases = [
+            "link-down:t=2ms:edge0-aggr1:dur=500us",
+            "link-down:t=0ns:edge0-aggr1",
+            "switch-crash:t=5ms:aggr0",
+            "drop:p=0.0001:kind=detoured",
+            "corrupt:p=0.5",
+            "random:4",
+            "drop:p=0.001;random:2;switch-crash:t=1s:edge2",
+        ];
+        for case in cases {
+            let spec: FaultSpec = case.parse().unwrap();
+            assert_eq!(spec.to_string(), case, "display is canonical");
+            let again: FaultSpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+    }
+
+    #[test]
+    fn off_and_empty_specs() {
+        for s in ["off", "", "  ", ";"] {
+            let spec: FaultSpec = s.parse().unwrap();
+            assert!(spec.is_off(), "`{s}` should be off");
+        }
+        assert_eq!(FaultSpec::off().to_string(), "off");
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        for bad in [
+            "link-down:t=2ms",
+            "link-down:t=2:edge0-aggr1",
+            "link-down:t=2ms:edge0aggr1",
+            "link-down:t=2ms:edge0-aggr1:dur=500us:extra",
+            "switch-crash:t=1ms",
+            "drop:p=1.5",
+            "drop:p=x",
+            "drop:p=0.1:kind=bogus",
+            "random:",
+            "random:many",
+            "frobnicate:t=1ms:x",
+        ] {
+            assert!(bad.parse::<FaultSpec>().is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_are_rejected() {
+        // Same link, intersecting outages — including bracket/order aliases.
+        for bad in [
+            "link-down:t=1ms:edge0-aggr0:dur=2ms;link-down:t=2ms:edge0-aggr0:dur=2ms",
+            "link-down:t=1ms:edge0-aggr0:dur=2ms;link-down:t=2ms:aggr0-edge0:dur=1ms",
+            "link-down:t=1ms:edge[0]-aggr[0]:dur=2ms;link-down:t=2ms:edge0-aggr0:dur=2ms",
+            "link-down:t=1ms:edge0-aggr0;link-down:t=5ms:edge0-aggr0:dur=1ms",
+            "link-down:t=5ms:edge0-aggr0:dur=1ms;link-down:t=1ms:edge0-aggr0",
+        ] {
+            assert!(matches!(
+                bad.parse::<FaultSpec>(),
+                Err(FaultError::Invalid(_))
+            ));
+        }
+        // Disjoint windows on the same link are fine.
+        let ok = "link-down:t=1ms:edge0-aggr0:dur=1ms;link-down:t=3ms:edge0-aggr0:dur=1ms";
+        assert!(ok.parse::<FaultSpec>().is_ok());
+    }
+
+    #[test]
+    fn contradictory_clauses_are_rejected() {
+        for bad in [
+            "switch-crash:t=1ms:aggr0;switch-crash:t=2ms:aggr[0]",
+            "drop:p=0.1;drop:p=0.2",
+            "drop:p=0.1:kind=data;drop:p=0.2:kind=data",
+            "corrupt:p=0.1:kind=ack;corrupt:p=0.2:kind=ack",
+            "random:1;random:2",
+            "link-down:t=1ms:edge0-edge[0]:dur=1ms",
+        ] {
+            assert!(matches!(
+                bad.parse::<FaultSpec>(),
+                Err(FaultError::Invalid(_))
+            ));
+        }
+        // Different kinds may coexist.
+        assert!("drop:p=0.1:kind=data;drop:p=0.2:kind=ack"
+            .parse::<FaultSpec>()
+            .is_ok());
+    }
+
+    #[test]
+    fn resolve_binds_names_and_sorts() {
+        let topo = testbed();
+        let spec: FaultSpec =
+            "switch-crash:t=3ms:aggr1;link-down:t=1ms:edge[0]-aggr[0]:dur=1ms;drop:p=0.25:kind=ack"
+                .parse()
+                .unwrap();
+        let mut rng = SimRng::new(7);
+        let plan = spec
+            .resolve(&topo, SimTime::from_millis(10), &mut rng)
+            .unwrap();
+        assert_eq!(plan.timed.len(), 3);
+        assert_eq!(plan.timed[0].at, SimTime::from_millis(1));
+        assert!(matches!(plan.timed[0].action, FaultAction::LinkDown(_)));
+        assert_eq!(plan.timed[1].at, SimTime::from_millis(2));
+        assert!(matches!(plan.timed[1].action, FaultAction::LinkUp(_)));
+        assert!(matches!(plan.timed[2].action, FaultAction::SwitchCrash(_)));
+        assert_eq!(plan.drops.len(), 1);
+        assert_eq!(plan.drops[0].kind, DropKind::Ack);
+        assert!(plan.corrupts.is_empty());
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names_and_host_crashes() {
+        let topo = testbed();
+        let mut rng = SimRng::new(7);
+        let horizon = SimTime::from_millis(10);
+        for bad in [
+            "switch-crash:t=1ms:nosuch",
+            "switch-crash:t=1ms:h00",      // hosts cannot crash
+            "link-down:t=1ms:edge0-edge1", // no direct link
+            "link-down:t=1ms:edge0-nosuch",
+        ] {
+            let spec: FaultSpec = bad.parse().unwrap();
+            assert!(
+                matches!(
+                    spec.resolve(&topo, horizon, &mut rng),
+                    Err(FaultError::Resolve(_))
+                ),
+                "`{bad}` should fail to resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn random_expansion_is_reproducible() {
+        let topo = testbed();
+        let spec: FaultSpec = "random:4".parse().unwrap();
+        let horizon = SimTime::from_millis(50);
+        let a = spec.resolve(&topo, horizon, &mut SimRng::new(42)).unwrap();
+        let b = spec.resolve(&topo, horizon, &mut SimRng::new(42)).unwrap();
+        assert_eq!(a, b);
+        let c = spec.resolve(&topo, horizon, &mut SimRng::new(43)).unwrap();
+        assert_ne!(a, c, "different seeds give different schedules");
+        // Flaps land on fabric (switch-switch) links, inside the horizon.
+        assert!(!a.timed.is_empty());
+        for tf in &a.timed {
+            match tf.action {
+                FaultAction::LinkDown(l) | FaultAction::LinkUp(l) => {
+                    let link = topo.links()[l.index()];
+                    assert!(!topo.is_host(link.a.node));
+                    assert!(!topo.is_host(link.b.node));
+                }
+                FaultAction::SwitchCrash(_) => panic!("random never crashes switches"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_kind_applicability() {
+        assert!(DropKind::Any.applies(false, true));
+        assert!(DropKind::Any.applies(true, false));
+        assert!(DropKind::Detoured.applies(true, true));
+        assert!(!DropKind::Detoured.applies(false, true));
+        assert!(DropKind::Data.applies(false, true));
+        assert!(!DropKind::Data.applies(false, false));
+        assert!(DropKind::Ack.applies(false, false));
+        assert!(!DropKind::Ack.applies(false, true));
+    }
+
+    #[test]
+    fn time_formats_pick_exact_units() {
+        // Exercised through Display of clauses.
+        let spec: FaultSpec = "switch-crash:t=1500us:aggr0".parse().unwrap();
+        assert_eq!(spec.to_string(), "switch-crash:t=1500us:aggr0");
+        let spec: FaultSpec = "switch-crash:t=2000us:aggr0".parse().unwrap();
+        assert_eq!(spec.to_string(), "switch-crash:t=2ms:aggr0");
+        let spec: FaultSpec = "switch-crash:t=0ns:aggr0".parse().unwrap();
+        assert_eq!(spec.to_string(), "switch-crash:t=0ns:aggr0");
+        let spec: FaultSpec = "switch-crash:t=999ns:aggr0".parse().unwrap();
+        assert_eq!(spec.to_string(), "switch-crash:t=999ns:aggr0");
+    }
+}

@@ -1,0 +1,138 @@
+//! Expansion of `random:<budget>` clauses into concrete fault schedules.
+//!
+//! This module is the *sampler definition site* for randomized fault
+//! schedules: the mixture weights and probability menus below are the one
+//! place raw numeric probabilities are allowed to appear (see the
+//! `raw-probability` lint allow in `lint.toml`). Everything downstream
+//! draws through the caller's [`SimRng`], so a given seed always expands
+//! to the same [`FaultPlan`].
+
+use crate::{DropKind, DropProfile, FaultAction, FaultPlan, TimedFault};
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::SimTime;
+use dibs_net::ids::LinkId;
+use dibs_net::topology::Topology;
+use std::collections::BTreeMap;
+
+/// The menu of background drop rates a random schedule picks from.
+const DROP_RATE_MENU: [f64; 3] = [1e-3, 5e-4, 1e-4];
+
+/// Expands one `random:<budget>` clause into `plan`.
+///
+/// Attempts `budget` link flaps on fabric (switch-to-switch) links: each
+/// picks a link, a start inside the first 80% of the horizon, and a
+/// bounded outage; attempts whose window would overlap an already-placed
+/// window on the same link are skipped (deterministically), keeping the
+/// expanded schedule valid by construction. A topology with no fabric
+/// links (e.g. `single_switch`) degrades to a pure drop profile.
+pub(crate) fn expand(
+    budget: u32,
+    topo: &Topology,
+    horizon: SimTime,
+    rng: &mut SimRng,
+    plan: &mut FaultPlan,
+) {
+    let h = horizon.as_nanos().max(1_000);
+    let fabric: Vec<LinkId> = topo
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !topo.is_host(l.a.node) && !topo.is_host(l.b.node))
+        .map(|(i, _)| LinkId::from_index(i))
+        .collect();
+    if fabric.is_empty() {
+        plan.drops.push(DropProfile {
+            p: *rng.pick(&DROP_RATE_MENU),
+            kind: DropKind::Any,
+        });
+        return;
+    }
+    let mut taken: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+    for _ in 0..budget {
+        let link = *rng.pick(&fabric);
+        let at = rng.range_u64(0, h.saturating_mul(4) / 5 + 1);
+        let dur = rng.range_u64(h / 64 + 1, h / 8 + 2);
+        let end = at.saturating_add(dur);
+        let wins = taken.entry(link.index()).or_default();
+        if wins.iter().any(|&(s, e)| at < e && s < end) {
+            continue; // keep per-link windows disjoint; skip is seeded too
+        }
+        wins.push((at, end));
+        plan.timed.push(TimedFault {
+            at: SimTime::from_nanos(at),
+            action: FaultAction::LinkDown(link),
+        });
+        plan.timed.push(TimedFault {
+            at: SimTime::from_nanos(end),
+            action: FaultAction::LinkUp(link),
+        });
+    }
+    // Mixture weight: one schedule in four also carries a drop profile.
+    if rng.chance(0.25) {
+        plan.drops.push(DropProfile {
+            p: *rng.pick(&DROP_RATE_MENU),
+            kind: DropKind::Any,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibs_net::builders::single_switch;
+    use dibs_net::topology::LinkSpec;
+
+    #[test]
+    fn no_fabric_links_degrades_to_drop_profile() {
+        let topo = single_switch(4, LinkSpec::gbit(5));
+        let mut plan = FaultPlan::default();
+        expand(
+            3,
+            &topo,
+            SimTime::from_millis(10),
+            &mut SimRng::new(1),
+            &mut plan,
+        );
+        assert!(plan.timed.is_empty());
+        assert_eq!(plan.drops.len(), 1);
+        assert!(DROP_RATE_MENU.contains(&plan.drops[0].p));
+    }
+
+    #[test]
+    fn windows_never_overlap_per_link() {
+        let topo = dibs_net::builders::mini_testbed(LinkSpec::gbit(5));
+        for seed in 0..32 {
+            let mut plan = FaultPlan::default();
+            expand(
+                8,
+                &topo,
+                SimTime::from_millis(20),
+                &mut SimRng::new(seed),
+                &mut plan,
+            );
+            // Reconstruct per-link windows from the down/up pairs.
+            let mut downs: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+            let mut ups: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+            for tf in &plan.timed {
+                match tf.action {
+                    FaultAction::LinkDown(l) => {
+                        downs.entry(l.index()).or_default().push(tf.at.as_nanos());
+                    }
+                    FaultAction::LinkUp(l) => {
+                        ups.entry(l.index()).or_default().push(tf.at.as_nanos());
+                    }
+                    FaultAction::SwitchCrash(_) => panic!("no crashes from random"),
+                }
+            }
+            for (link, mut starts) in downs {
+                let mut ends = ups.remove(&link).expect("every down has an up");
+                assert_eq!(starts.len(), ends.len());
+                starts.sort_unstable();
+                ends.sort_unstable();
+                for i in 1..starts.len() {
+                    assert!(ends[i - 1] <= starts[i], "windows overlap on link {link}");
+                }
+            }
+        }
+    }
+}

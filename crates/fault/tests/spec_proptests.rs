@@ -1,0 +1,235 @@
+//! Property tests for the fault-spec grammar, driven by `SimRng` so every
+//! run exercises the same pseudo-random population of specs.
+//!
+//! Three families:
+//!
+//! * parse → format → parse is a fixed point for generated valid specs;
+//! * overlapping link-down windows are rejected no matter how the
+//!   endpoints are spelled or ordered;
+//! * `random:<budget>` expansion is a pure function of `(spec, topology,
+//!   rng seed)`.
+
+use dibs_engine::rng::SimRng;
+use dibs_engine::time::{SimDuration, SimTime};
+use dibs_fault::{FaultClause, FaultError, FaultSpec};
+use dibs_net::builders::{fat_tree, mini_testbed, FatTreeParams};
+use dibs_net::topology::{LinkSpec, Topology};
+
+const CASES: usize = 400;
+
+fn testbed() -> Topology {
+    mini_testbed(LinkSpec::gbit(5))
+}
+
+/// Node-name pairs that are real links in the mini testbed, in both the
+/// builders' bracketed spelling and the flattened one.
+const LINK_PAIRS: &[(&str, &str)] = &[
+    ("edge[0]", "aggr[0]"),
+    ("edge0", "aggr1"),
+    ("edge[1]", "aggr0"),
+    ("edge2", "aggr[1]"),
+];
+
+const SWITCHES: &[&str] = &["edge[0]", "edge1", "edge2", "aggr[0]", "aggr1"];
+
+/// One random valid spec: non-overlapping link-down windows per pair,
+/// distinct crash targets, at most one drop/corrupt per kind, at most one
+/// `random:` clause.
+fn gen_spec(rng: &mut SimRng) -> FaultSpec {
+    let mut clauses = Vec::new();
+
+    // Sequential windows on one link pair never overlap by construction.
+    let (a, b) = *rng.pick(LINK_PAIRS);
+    let mut cursor = 0u64;
+    for _ in 0..rng.below(3) {
+        cursor += 1 + rng.range_u64(0, 2_000_000);
+        let at = SimTime::from_nanos(cursor);
+        let dur = if rng.chance(0.75) {
+            let d = 1 + rng.range_u64(0, 800_000);
+            cursor += d;
+            Some(SimDuration::from_nanos(d))
+        } else {
+            None
+        };
+        let forever = dur.is_none();
+        clauses.push(FaultClause::LinkDown {
+            at,
+            a: a.to_string(),
+            b: b.to_string(),
+            dur,
+        });
+        if forever {
+            break; // anything after an unrecovered outage would overlap
+        }
+    }
+
+    if rng.chance(0.4) {
+        clauses.push(FaultClause::SwitchCrash {
+            at: SimTime::from_micros(1 + rng.range_u64(0, 20_000)),
+            node: rng.pick(SWITCHES).to_string(),
+        });
+    }
+    if rng.chance(0.5) {
+        clauses.push(FaultClause::Drop {
+            p: rng.uniform(),
+            kind: *rng.pick(&[
+                dibs_fault::DropKind::Any,
+                dibs_fault::DropKind::Detoured,
+                dibs_fault::DropKind::Data,
+                dibs_fault::DropKind::Ack,
+            ]),
+        });
+    }
+    if rng.chance(0.35) {
+        clauses.push(FaultClause::Corrupt {
+            p: rng.uniform(),
+            kind: *rng.pick(&[dibs_fault::DropKind::Any, dibs_fault::DropKind::Data]),
+        });
+    }
+    if rng.chance(0.5) {
+        clauses.push(FaultClause::Random {
+            budget: 1 + u32::try_from(rng.below(6)).expect("small budget"),
+        });
+    }
+    FaultSpec { clauses }
+}
+
+#[test]
+fn parse_format_parse_is_a_fixed_point() {
+    let mut rng = SimRng::new(0xFA17_5EED);
+    let mut nonempty = 0;
+    for case in 0..CASES {
+        let spec = gen_spec(&mut rng);
+        spec.validate()
+            .unwrap_or_else(|e| panic!("case {case}: generator made invalid spec: {e}"));
+        if !spec.is_off() {
+            nonempty += 1;
+        }
+
+        let text = spec.to_string();
+        let reparsed: FaultSpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: `{text}` does not re-parse: {e}"));
+        assert_eq!(reparsed, spec, "case {case}: parse(format(spec)) != spec");
+        assert_eq!(
+            reparsed.to_string(),
+            text,
+            "case {case}: format is not a fixed point"
+        );
+    }
+    assert!(nonempty > CASES / 2, "generator is degenerate");
+}
+
+#[test]
+fn every_generated_spec_resolves_against_the_testbed() {
+    let topo = testbed();
+    let horizon = SimTime::from_millis(30);
+    let mut rng = SimRng::new(0x0DD5_0FF5);
+    for case in 0..CASES {
+        let spec = gen_spec(&mut rng);
+        let mut plan_rng = SimRng::new(case as u64).fork("fault/plan");
+        spec.resolve(&topo, horizon, &mut plan_rng)
+            .unwrap_or_else(|e| panic!("case {case}: `{spec}` failed to resolve: {e}"));
+    }
+}
+
+#[test]
+fn overlapping_windows_are_rejected_in_any_spelling() {
+    let mut rng = SimRng::new(0x0E71_AB00);
+    let spellings = [
+        ("edge0", "aggr1"),
+        ("edge[0]", "aggr[1]"),
+        ("aggr1", "edge0"),
+    ];
+    for case in 0..CASES {
+        // A window [start, start+dur) and a second window starting inside it.
+        let start = rng.range_u64(0, 5_000_000);
+        let dur = 1 + rng.range_u64(0, 2_000_000);
+        let inside = start + rng.range_u64(0, dur);
+        let first = *rng.pick(&spellings);
+        let second = *rng.pick(&spellings);
+        let spec = FaultSpec {
+            clauses: vec![
+                FaultClause::LinkDown {
+                    at: SimTime::from_nanos(start),
+                    a: first.0.to_string(),
+                    b: first.1.to_string(),
+                    dur: Some(SimDuration::from_nanos(dur)),
+                },
+                FaultClause::LinkDown {
+                    at: SimTime::from_nanos(inside),
+                    a: second.0.to_string(),
+                    b: second.1.to_string(),
+                    // Open-ended or bounded: overlaps either way.
+                    dur: rng
+                        .chance(0.5)
+                        .then(|| SimDuration::from_nanos(1 + rng.range_u64(0, 1_000_000))),
+                },
+            ],
+        };
+        match spec.validate() {
+            Err(FaultError::Invalid(msg)) => {
+                assert!(
+                    msg.contains("overlapping"),
+                    "case {case}: wrong error: {msg}"
+                );
+            }
+            other => panic!("case {case}: overlap accepted: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn touching_windows_do_not_overlap() {
+    // [t, t+d) then [t+d, ...) is legal: the windows are half-open.
+    let spec: FaultSpec = "link-down:t=1ms:edge0-aggr0:dur=1ms;\
+                           link-down:t=2ms:edge0-aggr0:dur=1ms"
+        .parse()
+        .expect("touching windows are valid");
+    assert_eq!(spec.clauses.len(), 2);
+}
+
+#[test]
+fn random_budget_expansion_is_seed_deterministic() {
+    let topos = [
+        testbed(),
+        fat_tree(FatTreeParams {
+            k: 4,
+            host_link: LinkSpec::gbit(1),
+            fabric_link: LinkSpec::gbit(1),
+        }),
+    ];
+    let horizon = SimTime::from_millis(30);
+    for topo in &topos {
+        for budget in 1..=6u32 {
+            let spec: FaultSpec = format!("random:{budget}").parse().expect("valid");
+            for seed in 0..32u64 {
+                let mut r1 = SimRng::new(seed).fork("fault/plan");
+                let mut r2 = SimRng::new(seed).fork("fault/plan");
+                let p1 = spec.resolve(topo, horizon, &mut r1).expect("resolves");
+                let p2 = spec.resolve(topo, horizon, &mut r2).expect("resolves");
+                assert_eq!(p1, p2, "seed {seed} budget {budget}: expansion diverged");
+                assert!(
+                    !p1.is_empty(),
+                    "seed {seed} budget {budget}: random expanded to nothing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_expansion_varies_across_seeds() {
+    // Not a determinism requirement, but if every seed gave the same plan
+    // the soak harness would explore nothing.
+    let topo = testbed();
+    let horizon = SimTime::from_millis(30);
+    let spec: FaultSpec = "random:4".parse().expect("valid");
+    let mut distinct = std::collections::BTreeSet::new();
+    for seed in 0..32u64 {
+        let mut rng = SimRng::new(seed).fork("fault/plan");
+        let plan = spec.resolve(&topo, horizon, &mut rng).expect("resolves");
+        distinct.insert(format!("{plan:?}"));
+    }
+    assert!(distinct.len() > 8, "only {} distinct plans", distinct.len());
+}

@@ -14,10 +14,18 @@
 //!   [`Executor::map`] returns them in input order, so the reduction is
 //!   independent of execution interleaving.
 //!
-//! The crate is pure `std` and has **zero dependencies**, so any workspace
-//! crate (or dev-dependency graph) can use it without cycles. All other
-//! crates are forbidden from touching `std::thread` directly — the
-//! `thread-spawn` rule in `dibs-lint` enforces this.
+//! The [`Executor`] itself is pure `std` with no workspace dependencies,
+//! so any crate (or dev-dependency graph) can use it without cycles — the
+//! simulator crates this crate depends on pull it in only as a
+//! *dev*-dependency, which Cargo keeps out of the normal dependency
+//! graph. All other crates are forbidden from touching `std::thread`
+//! directly — the `thread-spawn` rule in `dibs-lint` enforces this.
+//!
+//! The [`simtest`] module (and its `simtest` binary) layers a randomized
+//! fault-injection soak harness on top of the executor: seeded random
+//! topologies × workloads × fault schedules, with per-run invariant
+//! checks. That module is why this crate now depends on the simulator
+//! stack.
 //!
 //! ```
 //! use dibs_harness::Executor;
@@ -26,6 +34,8 @@
 //! let par = Executor::new(8).map((0..100).collect(), |x: u64| x * x);
 //! assert_eq!(seq, par); // same bytes regardless of thread count
 //! ```
+
+pub mod simtest;
 
 use std::collections::VecDeque;
 use std::sync::Mutex;

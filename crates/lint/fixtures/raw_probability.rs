@@ -1,0 +1,8 @@
+// Fixture: the `raw-probability` lint must fire on probability literals
+// fed straight into chance decisions.
+fn should_drop(rng: &mut SimRng) -> bool {
+    rng.chance(1e-4)
+}
+fn should_corrupt(rng: &mut SimRng) -> bool {
+    rng.uniform() < 0.01
+}

@@ -76,6 +76,12 @@ pub enum Rule {
     /// (`src/bin/`, `main.rs`). Stray prints corrupt `--json` output and
     /// the digest lines `scripts/check.sh` diffs.
     PrintlnInLib,
+    /// A raw numeric probability literal fed straight into a chance
+    /// decision (`rng.chance(0.25)`, `rng.uniform() < 0.1`) in
+    /// fault-decision files (`crates/fault`, the core event loop). Drop
+    /// and corruption rates must flow from the parsed `FaultSpec`; a
+    /// sampler definition site may carry an explicit `lint.toml` allow.
+    RawProbability,
 }
 
 impl Rule {
@@ -93,6 +99,7 @@ impl Rule {
             Rule::BinaryHeap => "binary-heap",
             Rule::UnusedDep => "unused-dep",
             Rule::PrintlnInLib => "println-in-lib",
+            Rule::RawProbability => "raw-probability",
         }
     }
 
@@ -110,6 +117,7 @@ impl Rule {
             Rule::BinaryHeap,
             Rule::UnusedDep,
             Rule::PrintlnInLib,
+            Rule::RawProbability,
         ]
     }
 }
@@ -325,6 +333,16 @@ impl FileCtx {
         self.is_strict() || !(p.contains("/bin/") || p.ends_with("main.rs"))
     }
 
+    /// Files that make probabilistic fault decisions: the fault crate
+    /// and the core event loop that executes its plans. A raw probability
+    /// literal here bypasses the `FaultSpec` grammar, so the rate neither
+    /// appears in the run's spec nor survives a round-trip through it.
+    fn is_fault_decision_file(&self) -> bool {
+        self.is_strict()
+            || self.crate_name == "dibs-fault"
+            || (self.rel_path.ends_with("sim.rs") && self.is_sim_crate())
+    }
+
     /// Files that account for packets, bytes, or buffer occupancy.
     fn is_accounting_file(&self) -> bool {
         let p = &self.rel_path;
@@ -411,6 +429,15 @@ pub fn scan_str(src: &str, ctx: &FileCtx) -> Vec<Finding> {
             push(
                 Rule::AmbientRng,
                 "ambient OS-seeded RNG; all randomness must flow from a seeded SimRng".to_string(),
+            );
+        }
+        if ctx.is_fault_decision_file() && has_raw_probability(trimmed) {
+            push(
+                Rule::RawProbability,
+                "raw probability literal in fault-decision code; rates must \
+                 come from the parsed FaultSpec — or allowlist the sampler \
+                 definition site in lint.toml with a reason"
+                    .to_string(),
             );
         }
         if ctx.is_ordering_file()
@@ -509,6 +536,26 @@ pub fn scan_str(src: &str, ctx: &FileCtx) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// A chance decision fed a numeric literal: `.chance(` directly followed
+/// by a digit or `.`, or `uniform()` compared (`<`/`<=`) against one.
+/// Variables and spec-derived fields (`rng.chance(prof.p)`) never match.
+fn has_raw_probability(code: &str) -> bool {
+    let starts_with_number = |s: &str| matches!(s.trim_start().chars().next(), Some(c) if c.is_ascii_digit() || c == '.');
+    for (i, pat) in code.match_indices(".chance(") {
+        if starts_with_number(&code[i + pat.len()..]) {
+            return true;
+        }
+    }
+    for (i, pat) in code.match_indices("uniform()") {
+        let rest = code[i + pat.len()..].trim_start();
+        let operand = rest.strip_prefix("<=").or_else(|| rest.strip_prefix('<'));
+        if operand.is_some_and(starts_with_number) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Strip a trailing `//` line comment, approximately: the cut happens at
@@ -933,6 +980,45 @@ fn after() { y.unwrap(); }
         assert!(!has_unchecked_sub("fn take(&mut self) -> u64 {"));
         assert!(!has_unchecked_sub("let x = a - b;"), "no countery ident");
         assert!(!has_unchecked_sub("let d = -5;"));
+    }
+
+    #[test]
+    fn raw_probability_detection() {
+        assert!(has_raw_probability("if rng.chance(0.25) {"));
+        assert!(has_raw_probability("if rng.chance(.5) {"));
+        assert!(has_raw_probability("rng.chance( 1e-3 )"));
+        assert!(has_raw_probability("if rng.uniform() < 0.1 {"));
+        assert!(has_raw_probability("rng.uniform() <= .01"));
+        assert!(!has_raw_probability("rng.chance(prof.p)"));
+        assert!(!has_raw_probability("rng.chance(DROP_WEIGHT)"));
+        assert!(!has_raw_probability("let u = rng.uniform();"));
+        assert!(!has_raw_probability("rng.uniform() < threshold"));
+    }
+
+    #[test]
+    fn raw_probability_scoped_to_fault_decision_files() {
+        let src = "fn f(rng: &mut SimRng) -> bool { rng.chance(0.25) }\n";
+        let fault = FileCtx {
+            crate_name: "dibs-fault".to_string(),
+            rel_path: "crates/fault/src/random.rs".to_string(),
+        };
+        let core_sim = FileCtx {
+            crate_name: "dibs".to_string(),
+            rel_path: "crates/core/src/sim.rs".to_string(),
+        };
+        let harness = FileCtx {
+            crate_name: "dibs-harness".to_string(),
+            rel_path: "crates/harness/src/simtest.rs".to_string(),
+        };
+        for ctx in [&fault, &core_sim] {
+            let f = scan_str(src, ctx);
+            assert_eq!(f.len(), 1, "{}: {f:?}", ctx.rel_path);
+            assert_eq!(f[0].rule, Rule::RawProbability);
+        }
+        assert!(
+            scan_str(src, &harness).is_empty(),
+            "workload generators may use inline mixture weights"
+        );
     }
 
     #[test]

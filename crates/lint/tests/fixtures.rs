@@ -77,6 +77,11 @@ fn binary_heap_fires() {
 }
 
 #[test]
+fn raw_probability_fires() {
+    assert_fires("raw_probability.rs", Rule::RawProbability);
+}
+
+#[test]
 fn unused_dep_fires() {
     let dir = fixture("unused_dep_crate");
     let findings = scan_manifest(&dir, "fixtures/unused_dep_crate/");
@@ -112,6 +117,7 @@ fn every_rs_fixture_is_covered() {
             "hash_collections.rs",
             "panic_hygiene.rs",
             "println_in_lib.rs",
+            "raw_probability.rs",
             "thread_spawn.rs",
             "truncating_cast.rs",
             "unchecked_sub.rs",

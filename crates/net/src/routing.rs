@@ -59,8 +59,23 @@ impl Fib {
     /// Computes the FIB; `salt` perturbs the ECMP hash (used to decorrelate
     /// repeated runs).
     pub fn compute_salted(topo: &Topology, salt: u64) -> Self {
+        Self::compute_masked(topo, salt, &[])
+    }
+
+    /// Computes the FIB over the topology minus a set of disabled links.
+    ///
+    /// `disabled` is indexed by [`LinkId`](crate::ids::LinkId); links past
+    /// its end (or an empty slice) count as up. Ports on a disabled link
+    /// are skipped in both the BFS and the equal-cost port assembly, so the
+    /// result is exactly what [`Fib::compute_salted`] would produce on the
+    /// degraded topology. Fault injection recomputes the FIB through this
+    /// on every link state change; destinations cut off entirely simply get
+    /// empty next-hop sets.
+    pub fn compute_masked(topo: &Topology, salt: u64, disabled: &[bool]) -> Self {
         let n = topo.num_nodes();
         let h = topo.num_hosts();
+        let link_up =
+            |link: crate::ids::LinkId| !disabled.get(link.index()).copied().unwrap_or(false);
         let mut dist = vec![u16::MAX; n * h];
 
         // One reverse BFS per destination host. Distances are from each node
@@ -80,6 +95,9 @@ impl Fib {
                     continue;
                 }
                 for p in &topo.node(u).ports {
+                    if !link_up(p.link) {
+                        continue;
+                    }
                     let v = p.peer;
                     if dist[v.index() * h + dst] == u16::MAX {
                         dist[v.index() * h + dst] = du + 1;
@@ -101,7 +119,7 @@ impl Fib {
                 let dn = dist[node * h + dst];
                 if dn != u16::MAX && dn != 0 {
                     for (i, p) in ports.iter().enumerate() {
-                        if dist[p.peer.index() * h + dst] == dn - 1 {
+                        if link_up(p.link) && dist[p.peer.index() * h + dst] == dn - 1 {
                             port_pool.push(u16::try_from(i).expect("port index fits u16"));
                         }
                     }
@@ -286,6 +304,17 @@ impl EcmpMemo {
     /// Lookups that fell through to `compute`.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Forgets every cached entry (the hit/miss counters survive).
+    ///
+    /// Required whenever the function being memoized changes — e.g. the
+    /// FIB was recomputed after a link failure — since stale entries would
+    /// otherwise replay port choices that no longer match recomputation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = MemoSlot::EMPTY;
+        }
     }
 
     /// Returns the cached value for `(flow, node, dst)`, computing and
@@ -503,6 +532,70 @@ mod tests {
         let again = memo.get_or_insert_with(FlowId(1), NodeId(2), HostId(3), || 7);
         assert_eq!(again, 42, "second lookup must come from the cache");
         assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn masked_fib_routes_around_disabled_links() {
+        let topo = mini_testbed(LinkSpec::gbit(1));
+        let full = Fib::compute(&topo);
+        // Disable one of edge0's two aggregation uplinks.
+        let edge = topo.host_uplink(HostId(0)).peer;
+        let up_ports: Vec<usize> = full
+            .next_hops(edge, HostId(4))
+            .iter()
+            .map(|&p| usize::from(p))
+            .collect();
+        assert_eq!(up_ports.len(), 2);
+        let dead_link = topo.port(edge, up_ports[0]).link;
+        let mut disabled = vec![false; topo.links().len()];
+        disabled[dead_link.index()] = true;
+        let masked = Fib::compute_masked(&topo, 0, &disabled);
+        // The surviving uplink carries everything; distances are unchanged.
+        assert_eq!(
+            masked.next_hops(edge, HostId(4)),
+            &[u16::try_from(up_ports[1]).unwrap()]
+        );
+        assert_eq!(masked.distance(topo.host_node(HostId(0)), HostId(4)), 4);
+        // An empty mask reproduces the full FIB's routing exactly.
+        let unmasked = Fib::compute_masked(&topo, 0, &[]);
+        for &sw in topo.switch_nodes() {
+            for hh in 0..topo.num_hosts() {
+                let dst = HostId::from_index(hh);
+                assert_eq!(unmasked.next_hops(sw, dst), full.next_hops(sw, dst));
+                assert_eq!(unmasked.distance(sw, dst), full.distance(sw, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_masked_destination_is_unreachable() {
+        let topo = linear(2, 1, LinkSpec::gbit(1));
+        // Cut the single inter-switch link: host 0 cannot reach host 1.
+        let mut disabled = vec![false; topo.links().len()];
+        for (i, l) in topo.links().iter().enumerate() {
+            if !topo.is_host(l.a.node) && !topo.is_host(l.b.node) {
+                disabled[i] = true;
+            }
+        }
+        let fib = Fib::compute_masked(&topo, 0, &disabled);
+        let s0 = topo.host_uplink(HostId(0)).peer;
+        assert!(fib.next_hops(s0, HostId(1)).is_empty());
+        assert_eq!(fib.distance(s0, HostId(1)), u16::MAX);
+        assert_eq!(fib.select_port(s0, HostId(1), FlowId(1)), None);
+        // Local delivery still works.
+        assert_eq!(fib.next_hops(s0, HostId(0)).len(), 1);
+    }
+
+    #[test]
+    fn memo_clear_forgets_entries() {
+        let mut memo = EcmpMemo::with_slots(64);
+        let v = memo.get_or_insert_with(FlowId(1), NodeId(2), HostId(3), || 10);
+        assert_eq!(v, 10);
+        memo.clear();
+        let again = memo.get_or_insert_with(FlowId(1), NodeId(2), HostId(3), || 20);
+        assert_eq!(again, 20, "cleared memo must recompute");
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 2, "counters survive the clear");
     }
 
     #[test]

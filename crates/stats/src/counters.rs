@@ -17,6 +17,10 @@ pub struct NetCounters {
     pub drops_displaced: u64,
     /// Packets dropped at a host's own (bounded) NIC queue.
     pub drops_host_nic: u64,
+    /// Packets destroyed by injected faults: probabilistic drop/corrupt
+    /// profiles, crashed-switch blackholing, and frames cut by a link
+    /// going down mid-flight.
+    pub drops_fault: u64,
     /// Packets detoured at least one time... incremented per detour event.
     pub detours: u64,
     /// Packets that experienced at least one detour, counted at delivery.
@@ -44,7 +48,11 @@ pub struct NetCounters {
 impl NetCounters {
     /// Total drops of any kind.
     pub fn total_drops(&self) -> u64 {
-        self.drops_buffer + self.drops_ttl + self.drops_displaced + self.drops_host_nic
+        self.drops_buffer
+            + self.drops_ttl
+            + self.drops_displaced
+            + self.drops_host_nic
+            + self.drops_fault
     }
 
     /// Fraction of delivered *background* data packets that were detoured
@@ -85,6 +93,7 @@ impl NetCounters {
         self.drops_ttl += other.drops_ttl;
         self.drops_displaced += other.drops_displaced;
         self.drops_host_nic += other.drops_host_nic;
+        self.drops_fault += other.drops_fault;
         self.detours += other.detours;
         self.delivered_detoured += other.delivered_detoured;
         self.ecn_marks += other.ecn_marks;
@@ -110,6 +119,7 @@ macro_rules! counter_fields {
             drops_ttl,
             drops_displaced,
             drops_host_nic,
+            drops_fault,
             detours,
             delivered_detoured,
             ecn_marks,
@@ -164,9 +174,10 @@ mod tests {
             drops_buffer: 3,
             drops_ttl: 2,
             drops_displaced: 1,
+            drops_fault: 4,
             ..Default::default()
         };
-        assert_eq!(c.total_drops(), 6);
+        assert_eq!(c.total_drops(), 10);
         assert!((c.detoured_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(NetCounters::default().detoured_fraction(), 0.0);
     }

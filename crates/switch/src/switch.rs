@@ -331,6 +331,25 @@ impl SwitchCore {
         Some(pkt)
     }
 
+    /// Empties every port queue, releasing all shared-buffer occupancy,
+    /// and returns the drained packets (port-major, FIFO within a port).
+    ///
+    /// Used by fault injection when this switch crashes: the packets leave
+    /// the fabric without ever being transmitted, so `dequeued` is *not*
+    /// incremented — the caller accounts for each returned packet as a
+    /// drop, keeping the audit ledger's conservation sum exact.
+    pub fn drain_all(&mut self) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(self.total_buffered());
+        for port in 0..self.queues.len() {
+            while let Some(pkt) = self.queues[port].pop() {
+                self.buffer.on_dequeue(pkt.wire_bytes);
+                out.push(pkt);
+            }
+            self.debug_audit_port(port);
+        }
+        out
+    }
+
     /// Builds a queue-transition event for `pkt` at `port`; `qlen` is the
     /// port's current depth (i.e. already reflecting the transition).
     fn queue_event(&self, kind: TraceKind, t_ns: u64, pkt: &Packet, port: usize) -> TraceEvent {
@@ -616,6 +635,42 @@ mod tests {
         assert_eq!(out.id.0, 1);
         assert_eq!(sw.counters().dequeued, 1);
         assert!(sw.dequeue(1).is_none());
+    }
+
+    #[test]
+    fn drain_all_frees_occupancy_without_counting_dequeues() {
+        // Dynamic shared buffer so the pool accounting is observable.
+        let mut sw = SwitchCore::new(
+            NodeId(0),
+            SwitchConfig {
+                buffer: BufferConfig::DynamicShared {
+                    total_bytes: 64 * 1500,
+                    alpha: 1.0,
+                    per_port_reserve_bytes: 0,
+                },
+                ecn_threshold: None,
+                dibs: DibsPolicy::Disabled,
+                discipline: Discipline::Fifo,
+                mark_detoured: true,
+            },
+            vec![true, false, false, false],
+        );
+        let mut rng = SimRng::new(1);
+        for i in 0..6 {
+            sw.enqueue(pkt(i), usize::try_from(i % 3).unwrap(), &mut rng);
+        }
+        assert_eq!(sw.total_buffered(), 6);
+        let drained = sw.drain_all();
+        assert_eq!(drained.len(), 6);
+        assert_eq!(sw.total_buffered(), 0);
+        assert_eq!(sw.buffer.shared_used(), 0, "pool fully released");
+        assert_eq!(sw.counters().dequeued, 0, "drain is not transmission");
+        // Port-major order, FIFO within each port.
+        let ids: Vec<u64> = drained.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 3, 1, 4, 2, 5]);
+        // The switch remains usable after a drain.
+        let r = sw.enqueue(pkt(9), 1, &mut rng);
+        assert!(matches!(r.outcome, EnqueueOutcome::Enqueued { port: 1 }));
     }
 
     #[test]

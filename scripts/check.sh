@@ -35,6 +35,8 @@ if [[ $quick -eq 0 ]]; then
         cargo test --workspace --offline -q -- --include-ignored
         echo "==> perf_hotpath --smoke (hot-path bench suite, CI-sized)"
         cargo run -q -p dibs-bench --release --offline --bin perf_hotpath -- --smoke
+        echo "==> simtest --smoke (64-seed fault-injection soak)"
+        cargo run -q -p dibs-harness --release --offline --bin simtest -- --smoke
         echo "==> trace smoke (traced incast: valid Chrome JSON, digest unchanged)"
         tmp=$(mktemp -d)
         trap 'rm -rf "$tmp"' EXIT

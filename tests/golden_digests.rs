@@ -11,9 +11,15 @@
 //! reason a refactor can claim "no behavior change" with a straight face.
 
 use dibs::presets::{single_incast_sim, testbed_incast_sim};
-use dibs::{RunDescriptor, RunDigest, SimConfig};
+use dibs::{FaultSpec, RunDescriptor, RunDigest, SimConfig};
 use dibs_net::builders::FatTreeParams;
 use dibs_switch::BufferConfig;
+
+fn with_faults(mut sim: dibs::Simulation, spec: &str) -> dibs::Simulation {
+    sim.set_faults(&spec.parse::<FaultSpec>().expect("valid fault spec"))
+        .expect("fault spec resolves");
+    sim
+}
 
 /// Master seed shared by all golden runs; mirrors the bench default.
 const MASTER_SEED: u64 = 0xD1B5_2014;
@@ -76,9 +82,73 @@ fn golden_ttl_sweep_point() {
     check("ttl_sweep", &RunDigest::of(&results), GOLDEN_TTL_SWEEP);
 }
 
+/// Fault family: the testbed incast riding out a mid-burst uplink flap.
+#[test]
+fn golden_incast_link_flap() {
+    let d = RunDescriptor::new("golden_incast_link_flap", "dibs", 5, 0);
+    let cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    let sim = with_faults(
+        testbed_incast_sim(cfg, 5, 4, 32_000),
+        "link-down:t=1ms:edge2-aggr0:dur=2ms",
+    );
+    check(
+        "incast_link_flap",
+        &RunDigest::of(&sim.run()),
+        GOLDEN_INCAST_LINK_FLAP,
+    );
+}
+
+/// Fault family: small buffers under pressure, then an aggregation switch
+/// crashes mid-run (buffered packets freed, routes recomputed).
+#[test]
+fn golden_buffer_pressure_switch_crash() {
+    let d = RunDescriptor::new("golden_buffer_crash", "dibs", 25, 0);
+    let mut cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    cfg.switch.buffer = BufferConfig::StaticPerPort { packets: 25 };
+    cfg.switch.ecn_threshold = Some(20);
+    let sim = with_faults(
+        single_incast_sim(k4(), cfg, 8, 20_000),
+        "switch-crash:t=2ms:aggr[0][0]",
+    );
+    let results = sim.run();
+    check(
+        "buffer_pressure_switch_crash",
+        &RunDigest::of(&results),
+        GOLDEN_BUFFER_CRASH,
+    );
+}
+
+/// Fault family: the probabilistic soak profile — random flaps plus a
+/// light detour-targeted drop rate.
+#[test]
+fn golden_random_drop_soak() {
+    let d = RunDescriptor::new("golden_random_drop_soak", "dibs", 8, 0);
+    let cfg = SimConfig::dctcp_dibs().with_seed(d.seed(MASTER_SEED));
+    let sim = with_faults(
+        single_incast_sim(k4(), cfg, 8, 20_000),
+        "drop:p=1e-3;random:4",
+    );
+    check(
+        "random_drop_soak",
+        &RunDigest::of(&sim.run()),
+        GOLDEN_RANDOM_SOAK,
+    );
+}
+
 // The pinned fingerprints. These change ONLY when simulation semantics
 // change; the parallel executor, jobs count, and merge order must never
 // move them.
-const GOLDEN_TESTBED_INCAST: u64 = 0xd3da_11b4_69d7_8c65;
-const GOLDEN_BUFFER_SWEEP: u64 = 0x999f_d885_16eb_253a;
-const GOLDEN_TTL_SWEEP: u64 = 0xd7b3_05d9_6f8a_1961;
+//
+// Re-pinned when the digest text gained the `drops_fault` counter and the
+// `in_flight` line: the runs themselves are unchanged (all three still
+// show zero fault drops and zero in-flight packets), only the digest's
+// rendered text moved.
+const GOLDEN_TESTBED_INCAST: u64 = 0xdf96_3f56_11fe_1ffb;
+const GOLDEN_BUFFER_SWEEP: u64 = 0x00ca_e3df_8442_959d;
+const GOLDEN_TTL_SWEEP: u64 = 0x177c_befd_1697_2573;
+
+// Fault-scenario pins: a deliberate fault-injection change moves these
+// three without touching the fault-free pins above.
+const GOLDEN_INCAST_LINK_FLAP: u64 = 0xa3d8_aa6e_ad6b_91a1;
+const GOLDEN_BUFFER_CRASH: u64 = 0x6a59_908d_0bba_c125;
+const GOLDEN_RANDOM_SOAK: u64 = 0x6ba2_5988_d5f8_fa69;
